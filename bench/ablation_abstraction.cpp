@@ -1,0 +1,51 @@
+// Ablation: portability-layer abstraction overhead.
+//
+// Section II-C of the paper lists "kernel overhead added by using RAJA
+// abstractions compared to using programming models directly" as one of
+// the suite's primary measurement goals. This ablation runs a spread of
+// kernels on the host in Base vs RAJA variants (sequential and OpenMP) and
+// reports the per-kernel slowdown of the abstraction.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "suite/executor.hpp"
+
+int main() {
+  using namespace rperf;
+  suite::RunParams params;
+  params.kernel_filter = {
+      "Stream_TRIAD",     "Basic_DAXPY",      "Basic_REDUCE3_INT",
+      "Lcals_HYDRO_1D",   "Apps_PRESSURE",    "Polybench_JACOBI_1D",
+      "Algorithm_MEMSET", "Basic_NESTED_INIT"};
+  params.size_factor = 0.5;
+  params.npasses = 3;
+
+  suite::Executor exec(params);
+  exec.run();
+
+  std::printf("Ablation: RAJA-layer overhead vs base variants (host, "
+              "measured; ratio > 1 means the abstraction costs time)\n");
+  bench::print_rule(88);
+  std::printf("%-34s %12s %12s %12s %12s\n", "Kernel", "BaseSeq(ms)",
+              "RAJA/BaseSeq", "BaseOMP(ms)", "RAJA/BaseOMP");
+  bench::print_rule(88);
+  for (const auto& kernel : exec.kernels()) {
+    const double base_seq =
+        kernel->time_per_rep(suite::VariantID::Base_Seq);
+    const double raja_seq =
+        kernel->time_per_rep(suite::VariantID::RAJA_Seq);
+    const double base_omp =
+        kernel->time_per_rep(suite::VariantID::Base_OpenMP);
+    const double raja_omp =
+        kernel->time_per_rep(suite::VariantID::RAJA_OpenMP);
+    std::printf("%-34s %12.4f %12.3f %12.4f %12.3f\n",
+                kernel->name().c_str(), base_seq * 1e3,
+                base_seq > 0.0 ? raja_seq / base_seq : 0.0, base_omp * 1e3,
+                base_omp > 0.0 ? raja_omp / base_omp : 0.0);
+  }
+  bench::print_rule(88);
+  std::string details;
+  std::printf("checksums consistent across variants: %s\n",
+              exec.checksums_consistent(&details) ? "yes" : "NO");
+  return 0;
+}

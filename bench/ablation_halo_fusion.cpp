@@ -1,0 +1,46 @@
+// Ablation: fused vs unfused halo packing.
+//
+// The paper attributes the Comm HALO outlier behavior on GPUs to kernel-
+// launch overhead (many small pack/unpack kernels). This ablation isolates
+// that design choice: predicted times for the fused and unfused kernels on
+// every machine, plus a real measured host comparison.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "suite/executor.hpp"
+
+int main() {
+  using namespace rperf;
+
+  std::printf("Ablation: halo pack/unpack fusion (launch-overhead "
+              "sensitivity)\n\n");
+  std::printf("%-14s %16s %16s %10s\n", "Machine", "unfused (ms)",
+              "fused (ms)", "fused x");
+  bench::print_rule(64);
+  for (const auto& m : machine::paper_machines()) {
+    const auto sims = analysis::simulate_suite(m);
+    double unfused = 0.0, fused = 0.0;
+    for (const auto& r : sims) {
+      if (r.kernel == "Comm_HALO_PACKING") unfused = r.prediction.time_sec;
+      if (r.kernel == "Comm_HALO_PACKING_FUSED") {
+        fused = r.prediction.time_sec;
+      }
+    }
+    std::printf("%-14s %16.3f %16.3f %10.2f\n", m.shorthand.c_str(),
+                unfused * 1e3, fused * 1e3, unfused / fused);
+  }
+  bench::print_rule(64);
+  std::printf("(GPU machines gain most from fusion: 156 launches -> 2)\n\n");
+
+  // Real measured host comparison (packing work itself, no launch model).
+  suite::RunParams params;
+  params.kernel_filter = {"Comm_HALO_PACKING", "Comm_HALO_PACKING_FUSED"};
+  params.variant_filter = {suite::VariantID::Base_Seq,
+                           suite::VariantID::Base_OpenMP};
+  params.size_factor = 0.5;
+  suite::Executor exec(params);
+  exec.run();
+  std::printf("Measured on this host (seconds per repetition):\n%s",
+              exec.timing_report().c_str());
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Shared formatting helpers for the table/figure regeneration benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/cluster.hpp"
+#include "analysis/simulate.hpp"
+#include "machine/machine.hpp"
+
+namespace rperf::bench {
+
+/// Simulated suite results for all four paper machines, computed once.
+struct PaperSims {
+  std::vector<analysis::SimResult> ddr, hbm, v100, mi250x;
+
+  static PaperSims compute() {
+    PaperSims s;
+    s.ddr = analysis::simulate_suite(machine::spr_ddr());
+    s.hbm = analysis::simulate_suite(machine::spr_hbm());
+    s.v100 = analysis::simulate_suite(machine::p9_v100());
+    s.mi250x = analysis::simulate_suite(machine::epyc_mi250x());
+    return s;
+  }
+};
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline std::string format_si(double v) {
+  char buf[32];
+  if (v >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.2fT", v / 1e12);
+  } else if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  }
+  return buf;
+}
+
+/// A crude horizontal bar for terminal "figures".
+inline std::string bar(double fraction, int width = 40) {
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  return std::string(static_cast<std::size_t>(filled), '#') +
+         std::string(static_cast<std::size_t>(width - filled), '.');
+}
+
+/// The paper's similarity analysis (Figs 6-8): Ward clustering of the
+/// SPR-DDR TMA tuples for all O(N) kernels, cut at distance 1.4.
+struct ClusterAnalysis {
+  std::vector<std::vector<double>> points;
+  std::vector<std::string> labels;
+  std::vector<std::size_t> sim_index;  ///< into the sims vector
+  std::vector<analysis::LinkageStep> links;
+  std::vector<int> assignment;
+  int num_clusters = 0;
+  int excluded = 0;
+
+  static ClusterAnalysis compute(
+      const std::vector<analysis::SimResult>& ddr_sims,
+      double threshold = 1.4) {
+    ClusterAnalysis c;
+    for (std::size_t i = 0; i < ddr_sims.size(); ++i) {
+      if (!analysis::included_in_clustering(ddr_sims[i])) {
+        ++c.excluded;
+        continue;
+      }
+      c.points.push_back(analysis::tma_feature(ddr_sims[i]));
+      c.labels.push_back(ddr_sims[i].kernel);
+      c.sim_index.push_back(i);
+    }
+    c.links = analysis::ward_linkage(c.points);
+    c.assignment = analysis::fcluster(c.links, c.points.size(), threshold);
+    for (int a : c.assignment) {
+      c.num_clusters = std::max(c.num_clusters, a + 1);
+    }
+    return c;
+  }
+};
+
+/// Geometric-mean speedup of a cluster's kernels between two machines.
+inline double geomean_speedup(const ClusterAnalysis& c, int cluster,
+                              const std::vector<analysis::SimResult>& base,
+                              const std::vector<analysis::SimResult>& target) {
+  double log_sum = 0.0;
+  int n = 0;
+  for (std::size_t j = 0; j < c.points.size(); ++j) {
+    if (c.assignment[j] != cluster) continue;
+    const std::size_t i = c.sim_index[j];
+    log_sum +=
+        std::log(base[i].prediction.time_sec / target[i].prediction.time_sec);
+    ++n;
+  }
+  return n > 0 ? std::exp(log_sum / n) : 0.0;
+}
+
+/// Shared by fig3 (SPR-DDR) and fig4 (SPR-HBM): per-kernel TMA fractions.
+inline int print_topdown(const machine::MachineModel& m, const char* fig) {
+  const auto sims = analysis::simulate_suite(m);
+  std::printf("%s: top-down metrics per kernel on %s\n", fig,
+              m.shorthand.c_str());
+  print_rule(112);
+  std::printf("%-34s %9s %9s %9s %9s %9s   %s\n", "Kernel", "frontend",
+              "bad_spec", "retiring", "core", "memory", "memory-bound bar");
+  print_rule(112);
+  for (const auto& r : sims) {
+    const auto& t = r.prediction.tma;
+    std::printf("%-34s %9.3f %9.3f %9.3f %9.3f %9.3f   %s\n",
+                r.kernel.c_str(), t.frontend_bound, t.bad_speculation,
+                t.retiring, t.core_bound, t.memory_bound,
+                bar(t.memory_bound, 30).c_str());
+  }
+  print_rule(112);
+  return 0;
+}
+
+}  // namespace rperf::bench

@@ -1,0 +1,56 @@
+// Fig 10: achieved memory bandwidth vs achieved FLOP rate per kernel on
+// all four machines. Kernels above the y=x diagonal (GFLOPS > GB/s) are
+// FLOP-heavy; the paper lists 17 such kernels on SPR-DDR and annotates the
+// four kernels exceeding 10,000 GFLOPS on EPYC-MI250X.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+void panel(const char* name,
+           const std::vector<rperf::analysis::SimResult>& sims,
+           bool annotate_over_10tf) {
+  std::printf("--- %s ---\n", name);
+  rperf::bench::print_rule(84);
+  std::printf("%-34s %12s %12s %10s\n", "Kernel", "GB/s", "GFLOPS",
+              "side");
+  rperf::bench::print_rule(84);
+  for (const auto& r : sims) {
+    const double gbs = (r.prediction.read_bw + r.prediction.write_bw) / 1e9;
+    const double gflops = r.prediction.flop_rate / 1e9;
+    const bool flop_heavy = gflops > gbs;
+    std::printf("%-34s %12.1f %12.1f %10s%s\n", r.kernel.c_str(), gbs,
+                gflops, flop_heavy ? "FLOP" : "memory",
+                annotate_over_10tf && gflops > 10000.0 ? "  <-- >10 TFLOPS"
+                                                       : "");
+  }
+  rperf::bench::print_rule(84);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rperf;
+  const auto sims = bench::PaperSims::compute();
+
+  std::printf("Fig 10: achieved memory bandwidth vs FLOPS per kernel\n\n");
+  panel("SPR-DDR", sims.ddr, false);
+  panel("SPR-HBM", sims.hbm, false);
+  panel("P9-V100", sims.v100, false);
+  panel("EPYC-MI250X", sims.mi250x, true);
+
+  // The FLOP-heavy set on SPR-DDR (paper: 17 kernels).
+  std::printf("\nFLOP-heavy kernels on SPR-DDR (achieved GFLOPS > GB/s):\n");
+  int count = 0;
+  for (const auto& r : sims.ddr) {
+    const double gbs = (r.prediction.read_bw + r.prediction.write_bw) / 1e9;
+    if (r.prediction.flop_rate / 1e9 > gbs) {
+      std::printf("  %s\n", r.kernel.c_str());
+      ++count;
+    }
+  }
+  std::printf("total: %d (paper: 17)\n", count);
+  return 0;
+}

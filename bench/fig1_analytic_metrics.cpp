@@ -1,0 +1,31 @@
+// Fig 1: analytic metrics per kernel iteration — bytes read, bytes
+// written, FLOPs, and FLOPs per byte touched, normalized by problem size.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "suite/registry.hpp"
+
+int main() {
+  using namespace rperf;
+  suite::RunParams params;
+  params.size_override = analysis::kPaperProblemSize;
+
+  std::printf("Fig 1: analytic metrics per kernel iteration "
+              "(normalized by problem size)\n");
+  bench::print_rule(96);
+  std::printf("%-34s %12s %12s %12s %12s\n", "Kernel", "bytes_rd/it",
+              "bytes_wr/it", "flops/it", "flops/byte");
+  bench::print_rule(96);
+  for (const auto& name : suite::all_kernel_names()) {
+    const auto kernel = suite::make_kernel(name, params);
+    const auto& t = kernel->traits();
+    const double n = static_cast<double>(kernel->actual_prob_size());
+    std::printf("%-34s %12.3f %12.3f %12.3f %12.4f\n", kernel->name().c_str(),
+                t.bytes_read / n, t.bytes_written / n, t.flops / n,
+                t.flops_per_byte());
+  }
+  bench::print_rule(96);
+  std::printf("(values above ~100 appear capped in the paper's figure; "
+              "FLOP-dense FEM kernels dominate flops/it)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig 2: the Top-Down Microarchitecture Analysis hierarchy, plus one
+// populated example (Stream_TRIAD on SPR-DDR) from the counter simulator.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "counters/tma.hpp"
+#include "suite/registry.hpp"
+
+int main() {
+  using namespace rperf;
+  std::printf("Fig 2: top-down hierarchical bottleneck decomposition\n\n");
+  std::printf("%s", counters::render_tree(counters::hierarchy_skeleton())
+                        .c_str());
+
+  suite::RunParams params;
+  params.size_override = analysis::kPaperProblemSize;
+  const auto triad = suite::make_kernel("Stream_TRIAD", params);
+  std::printf("\nPopulated for Stream_TRIAD on SPR-DDR:\n\n");
+  std::printf("%s", counters::render_tree(counters::tma_tree(
+                                              triad->traits(),
+                                              machine::spr_ddr()))
+                        .c_str());
+  const auto gemm = suite::make_kernel("Polybench_GEMM", params);
+  std::printf("\nPopulated for Polybench_GEMM on SPR-DDR:\n\n");
+  std::printf("%s", counters::render_tree(counters::tma_tree(
+                                              gemm->traits(),
+                                              machine::spr_ddr()))
+                        .c_str());
+  return 0;
+}

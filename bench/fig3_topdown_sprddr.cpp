@@ -1,0 +1,7 @@
+// Fig 3: per-kernel top-down metrics on SPR-DDR — the five level-1/2 TMA
+// fractions the paper plots as stacked bars.
+#include "bench/bench_util.hpp"
+
+int main() {
+  return rperf::bench::print_topdown(rperf::machine::spr_ddr(), "Fig 3");
+}

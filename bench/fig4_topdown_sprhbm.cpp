@@ -1,0 +1,8 @@
+// Fig 4: per-kernel top-down metrics on SPR-HBM. HBM (partially)
+// alleviates the memory-bandwidth bottleneck, so the memory-bound bars
+// shrink relative to Fig 3 for the data-intensive kernels.
+#include "bench/bench_util.hpp"
+
+int main() {
+  return rperf::bench::print_topdown(rperf::machine::spr_hbm(), "Fig 4");
+}

@@ -1,0 +1,50 @@
+// Fig 5: instruction roofline for the P9-V100 system at the L1, L2, and
+// HBM cache levels — kernel points (Warp GIPS vs warp instructions per
+// transaction) against the machine ceilings.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "counters/ncu.hpp"
+
+int main() {
+  using namespace rperf;
+  const auto& v100 = machine::p9_v100();
+  const auto ceilings = counters::roofline_ceilings(v100);
+  const auto sims = analysis::simulate_suite(v100);
+
+  std::printf("Fig 5: instruction roofline on P9-V100\n");
+  std::printf("ceilings: peak %.0f warp GIPS; bandwidth %.0f / %.0f / %.0f "
+              "GTXN/s (L1 / L2 / HBM)\n\n",
+              ceilings.peak_warp_gips, ceilings.l1_gtxn_per_sec,
+              ceilings.l2_gtxn_per_sec, ceilings.hbm_gtxn_per_sec);
+
+  for (auto level : {counters::CacheLevel::L1, counters::CacheLevel::L2,
+                     counters::CacheLevel::HBM}) {
+    std::printf("--- %s cache level ---\n",
+                counters::to_string(level).c_str());
+    bench::print_rule(100);
+    std::printf("%-34s %-10s %12s %12s %10s %10s\n", "Kernel", "Group",
+                "intensity", "warp GIPS", "% of roof", "bound");
+    bench::print_rule(100);
+    for (const auto& r : sims) {
+      const auto ncu = counters::simulate_ncu(r.traits, v100);
+      const auto points = counters::roofline_points(
+          r.kernel, suite::to_string(r.group), ncu, r.prediction.time_sec);
+      for (const auto& p : points) {
+        if (p.level != level) continue;
+        const double attainable =
+            ceilings.attainable(level, p.instr_per_transaction);
+        const bool compute_bound =
+            p.instr_per_transaction * ceilings.bandwidth_roof(level) >
+            ceilings.peak_warp_gips;
+        std::printf("%-34s %-10s %12.4f %12.2f %9.1f%% %10s\n",
+                    p.kernel.c_str(), p.group.c_str(),
+                    p.instr_per_transaction, p.warp_gips,
+                    attainable > 0.0 ? 100.0 * p.warp_gips / attainable : 0.0,
+                    compute_bound ? "compute" : "memory");
+      }
+    }
+    bench::print_rule(100);
+  }
+  return 0;
+}

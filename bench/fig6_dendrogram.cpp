@@ -1,0 +1,37 @@
+// Fig 6: dendrogram of agglomerative Ward clustering on the SPR-DDR TMA
+// tuples (kernels with non-O(N) complexity excluded, as in the paper).
+#include <cstdio>
+
+#include "analysis/cluster.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace rperf;
+  const auto sims = analysis::simulate_suite(machine::spr_ddr());
+
+  std::vector<std::vector<double>> points;
+  std::vector<std::string> labels;
+  int excluded = 0;
+  for (const auto& r : sims) {
+    if (!analysis::included_in_clustering(r)) {
+      ++excluded;
+      continue;
+    }
+    points.push_back(analysis::tma_feature(r));
+    labels.push_back(r.kernel);
+  }
+  std::printf("Fig 6: Ward-linkage dendrogram on SPR-DDR top-down tuples\n");
+  std::printf("(%zu kernels clustered; %d excluded for non-O(N) complexity "
+              "— paper: 12 of 75 excluded)\n\n",
+              points.size(), excluded);
+
+  const auto links = analysis::ward_linkage(points);
+  std::printf("%s", analysis::render_dendrogram(links, labels).c_str());
+
+  const auto assign = analysis::fcluster(links, points.size(), 1.4);
+  int k = 0;
+  for (int a : assign) k = std::max(k, a + 1);
+  std::printf("\ncutting at distance threshold 1.4 -> %d clusters "
+              "(paper: 4)\n", k);
+  return 0;
+}

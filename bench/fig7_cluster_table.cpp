@@ -1,0 +1,64 @@
+// Fig 7: per-cluster top-down metric averages, per-cluster speedups over
+// SPR-DDR (geometric mean), and the distribution of kernel groups across
+// clusters.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace rperf;
+  const auto sims = bench::PaperSims::compute();
+  const auto c = bench::ClusterAnalysis::compute(sims.ddr);
+
+  std::printf("Fig 7: cluster characterization (threshold 1.4 -> %d "
+              "clusters; paper: 4)\n\n",
+              c.num_clusters);
+
+  // ---- group distribution across clusters ----
+  std::map<suite::GroupID, std::vector<int>> group_counts;
+  std::map<suite::GroupID, int> group_totals;
+  for (std::size_t j = 0; j < c.points.size(); ++j) {
+    const auto g = sims.ddr[c.sim_index[j]].group;
+    auto& v = group_counts[g];
+    v.resize(static_cast<std::size_t>(c.num_clusters), 0);
+    v[static_cast<std::size_t>(c.assignment[j])]++;
+    group_totals[g]++;
+  }
+  std::printf("%-12s %8s", "Group", "total");
+  for (int k = 0; k < c.num_clusters; ++k) std::printf("  cluster%d", k);
+  std::printf("\n");
+  bench::print_rule(80);
+  for (const auto& [g, counts] : group_counts) {
+    std::printf("%-12s %8d", suite::to_string(g).c_str(), group_totals[g]);
+    for (int k = 0; k < c.num_clusters; ++k) {
+      std::printf("  %3d(%2.0f%%)", counts[static_cast<std::size_t>(k)],
+                  100.0 * counts[static_cast<std::size_t>(k)] /
+                      group_totals[g]);
+    }
+    std::printf("\n");
+  }
+
+  // ---- per-cluster TMA means and speedups ----
+  const auto means = analysis::cluster_means(c.points, c.assignment);
+  std::printf("\n%-8s %5s %9s %9s %9s %9s %9s | %9s %9s %11s\n", "Cluster",
+              "n", "frontend", "bad_spec", "retiring", "core", "memory",
+              "HBM x", "V100 x", "MI250X x");
+  bench::print_rule(112);
+  for (int k = 0; k < c.num_clusters; ++k) {
+    int n = 0;
+    for (int a : c.assignment) n += (a == k) ? 1 : 0;
+    const auto& m = means[static_cast<std::size_t>(k)];
+    std::printf("%-8d %5d %9.4f %9.4f %9.4f %9.4f %9.4f | %9.2f %9.2f "
+                "%11.2f\n",
+                k, n, m[0], m[1], m[2], m[3], m[4],
+                bench::geomean_speedup(c, k, sims.ddr, sims.hbm),
+                bench::geomean_speedup(c, k, sims.ddr, sims.v100),
+                bench::geomean_speedup(c, k, sims.ddr, sims.mi250x));
+  }
+  bench::print_rule(112);
+  std::printf("(speedups are geometric means across cluster members; paper "
+              "reference: mem-bound cluster 2.60/7.36/22.65, core-bound "
+              "0.87/3.36/6.26)\n");
+  return 0;
+}

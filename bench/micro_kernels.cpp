@@ -1,0 +1,213 @@
+// Google-benchmark microbenchmarks: real measured host timings of
+// representative kernels in every programming-model variant. These are the
+// ground-truth measurements behind the abstraction-overhead analysis
+// (RAJA vs Base variants) on the machine actually running this suite.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "port/port.hpp"
+
+namespace {
+
+using namespace rperf::port;
+
+constexpr Index_type kN = 1 << 18;
+
+// ------------------------------------------------------------- TRIAD
+
+void BM_Triad_BaseSeq(benchmark::State& state) {
+  std::vector<double> a(kN, 0.0), b(kN, 1.5), c(kN, 2.5);
+  double* ap = a.data();
+  const double* bp = b.data();
+  const double* cp = c.data();
+  for (auto _ : state) {
+    for (Index_type i = 0; i < kN; ++i) ap[i] = bp[i] + 0.25 * cp[i];
+    benchmark::DoNotOptimize(ap[kN / 2]);
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 24);
+}
+BENCHMARK(BM_Triad_BaseSeq);
+
+void BM_Triad_RAJASeq(benchmark::State& state) {
+  std::vector<double> a(kN, 0.0), b(kN, 1.5), c(kN, 2.5);
+  double* ap = a.data();
+  const double* bp = b.data();
+  const double* cp = c.data();
+  for (auto _ : state) {
+    forall<seq_exec>(RangeSegment(0, kN),
+                     [=](Index_type i) { ap[i] = bp[i] + 0.25 * cp[i]; });
+    benchmark::DoNotOptimize(ap[kN / 2]);
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 24);
+}
+BENCHMARK(BM_Triad_RAJASeq);
+
+void BM_Triad_BaseOpenMP(benchmark::State& state) {
+  std::vector<double> a(kN, 0.0), b(kN, 1.5), c(kN, 2.5);
+  double* ap = a.data();
+  const double* bp = b.data();
+  const double* cp = c.data();
+  for (auto _ : state) {
+#pragma omp parallel for
+    for (Index_type i = 0; i < kN; ++i) ap[i] = bp[i] + 0.25 * cp[i];
+    benchmark::DoNotOptimize(ap[kN / 2]);
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 24);
+}
+BENCHMARK(BM_Triad_BaseOpenMP);
+
+void BM_Triad_RAJAOpenMP(benchmark::State& state) {
+  std::vector<double> a(kN, 0.0), b(kN, 1.5), c(kN, 2.5);
+  double* ap = a.data();
+  const double* bp = b.data();
+  const double* cp = c.data();
+  for (auto _ : state) {
+    forall<omp_parallel_for_exec>(
+        RangeSegment(0, kN),
+        [=](Index_type i) { ap[i] = bp[i] + 0.25 * cp[i]; });
+    benchmark::DoNotOptimize(ap[kN / 2]);
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 24);
+}
+BENCHMARK(BM_Triad_RAJAOpenMP);
+
+// --------------------------------------------------------------- DOT
+
+void BM_Dot_BaseSeq(benchmark::State& state) {
+  std::vector<double> a(kN, 1.25), b(kN, 0.75);
+  const double* ap = a.data();
+  const double* bp = b.data();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (Index_type i = 0; i < kN; ++i) sum += ap[i] * bp[i];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 16);
+}
+BENCHMARK(BM_Dot_BaseSeq);
+
+void BM_Dot_RAJASeq(benchmark::State& state) {
+  std::vector<double> a(kN, 1.25), b(kN, 0.75);
+  const double* ap = a.data();
+  const double* bp = b.data();
+  for (auto _ : state) {
+    ReduceSum<seq_exec, double> sum(0.0);
+    forall<seq_exec>(RangeSegment(0, kN),
+                     [=](Index_type i) { sum += ap[i] * bp[i]; });
+    benchmark::DoNotOptimize(sum.get());
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 16);
+}
+BENCHMARK(BM_Dot_RAJASeq);
+
+void BM_Dot_RAJAOpenMP(benchmark::State& state) {
+  std::vector<double> a(kN, 1.25), b(kN, 0.75);
+  const double* ap = a.data();
+  const double* bp = b.data();
+  for (auto _ : state) {
+    ReduceSum<omp_parallel_for_exec, double> sum(0.0);
+    forall<omp_parallel_for_exec>(
+        RangeSegment(0, kN), [=](Index_type i) { sum += ap[i] * bp[i]; });
+    benchmark::DoNotOptimize(sum.get());
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 16);
+}
+BENCHMARK(BM_Dot_RAJAOpenMP);
+
+// -------------------------------------------------------------- scan
+
+void BM_Scan_Seq(benchmark::State& state) {
+  std::vector<double> in(kN, 1.0), out(kN);
+  for (auto _ : state) {
+    exclusive_scan<seq_exec>(in.data(), out.data(), kN, 0.0);
+    benchmark::DoNotOptimize(out[kN - 1]);
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 16);
+}
+BENCHMARK(BM_Scan_Seq);
+
+void BM_Scan_OpenMP(benchmark::State& state) {
+  std::vector<double> in(kN, 1.0), out(kN);
+  for (auto _ : state) {
+    exclusive_scan<omp_parallel_for_exec>(in.data(), out.data(), kN, 0.0);
+    benchmark::DoNotOptimize(out[kN - 1]);
+  }
+  state.SetBytesProcessed(state.iterations() * kN * 16);
+}
+BENCHMARK(BM_Scan_OpenMP);
+
+// ------------------------------------------------------ nested loops
+
+void BM_NestedInit_RAJASeq(benchmark::State& state) {
+  constexpr Index_type d = 64;
+  std::vector<double> data(d * d * d);
+  double* p = data.data();
+  for (auto _ : state) {
+    forall_3d<seq_exec>(RangeSegment(0, d), RangeSegment(0, d),
+                        RangeSegment(0, d),
+                        [=](Index_type i, Index_type j, Index_type k) {
+                          p[(i * d + j) * d + k] = static_cast<double>(
+                              i * j * k);
+                        });
+    benchmark::DoNotOptimize(p[d]);
+  }
+}
+BENCHMARK(BM_NestedInit_RAJASeq);
+
+void BM_NestedInit_RAJAOpenMP(benchmark::State& state) {
+  constexpr Index_type d = 64;
+  std::vector<double> data(d * d * d);
+  double* p = data.data();
+  for (auto _ : state) {
+    forall_3d<omp_parallel_for_exec>(
+        RangeSegment(0, d), RangeSegment(0, d), RangeSegment(0, d),
+        [=](Index_type i, Index_type j, Index_type k) {
+          p[(i * d + j) * d + k] = static_cast<double>(i * j * k);
+        });
+    benchmark::DoNotOptimize(p[d]);
+  }
+}
+BENCHMARK(BM_NestedInit_RAJAOpenMP);
+
+// ------------------------------------------------------------- views
+
+void BM_View3D_Indexing(benchmark::State& state) {
+  constexpr Index_type d = 64;
+  std::vector<double> data(d * d * d, 1.0);
+  View<double, 3> v(data.data(), d, d, d);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (Index_type i = 0; i < d; ++i) {
+      for (Index_type j = 0; j < d; ++j) {
+        for (Index_type k = 0; k < d; ++k) {
+          sum += v(i, j, k);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_View3D_Indexing);
+
+void BM_Raw3D_Indexing(benchmark::State& state) {
+  constexpr Index_type d = 64;
+  std::vector<double> data(d * d * d, 1.0);
+  const double* p = data.data();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (Index_type i = 0; i < d; ++i) {
+      for (Index_type j = 0; j < d; ++j) {
+        for (Index_type k = 0; k < d; ++k) {
+          sum += p[(i * d + j) * d + k];
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_Raw3D_Indexing);
+
+}  // namespace
+
+BENCHMARK_MAIN();

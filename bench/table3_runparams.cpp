@@ -1,0 +1,22 @@
+// Table III: run parameters per system — variant, processes, and problem
+// size per process for a constant 32M-per-node problem.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace rperf;
+  std::printf("Table III: RAJAPerf parameters (constant %lld per node)\n",
+              static_cast<long long>(analysis::kPaperProblemSize));
+  bench::print_rule(72);
+  std::printf("%-14s %-12s %8s %20s\n", "System", "Variant", "nprocs",
+              "size per process");
+  bench::print_rule(72);
+  for (const auto& cfg : analysis::paper_run_configs()) {
+    std::printf("%-14s %-12s %8d %20lld\n", cfg.machine.c_str(),
+                cfg.variant.c_str(), cfg.nprocs,
+                static_cast<long long>(cfg.problem_size_per_proc));
+  }
+  bench::print_rule(72);
+  return 0;
+}

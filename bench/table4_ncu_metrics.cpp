@@ -1,0 +1,33 @@
+// Table IV: the Nsight-Compute metrics consumed by the Instruction
+// Roofline analysis, with one simulated sample (Stream_TRIAD on P9-V100)
+// demonstrating the counter generator.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "counters/ncu.hpp"
+
+int main() {
+  using namespace rperf;
+  std::printf("Table IV: NCU metrics for instruction roofline analysis\n");
+  bench::print_rule(110);
+  std::printf("%-52s %-14s %-36s\n", "Metric", "Category", "Description");
+  bench::print_rule(110);
+  for (const auto& row : counters::ncu_metric_table()) {
+    std::printf("%-52s %-14s %-36s\n", row.metric.c_str(),
+                row.category.c_str(), row.description.c_str());
+  }
+  bench::print_rule(110);
+
+  // Demonstrate the simulator on Stream_TRIAD @ P9-V100.
+  const auto sims = analysis::simulate_suite(machine::p9_v100());
+  for (const auto& r : sims) {
+    if (r.kernel != "Stream_TRIAD") continue;
+    std::printf("\nSimulated counters, Stream_TRIAD on P9-V100 (32M):\n");
+    for (const auto& [name, value] :
+         counters::simulate_ncu(r.traits, machine::p9_v100())) {
+      std::printf("  %-52s %s\n", name.c_str(),
+                  bench::format_si(value).c_str());
+    }
+  }
+  return 0;
+}

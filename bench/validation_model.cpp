@@ -1,0 +1,75 @@
+// Model validation: run kernels for real on this host, predict them with
+// the local-host machine model, and report measured vs predicted. The
+// figure-level analyses only need relative ordering, so the quantity to
+// check is whether the model ranks kernels the same way the machine does.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "machine/predictor.hpp"
+#include "suite/executor.hpp"
+
+int main() {
+  using namespace rperf;
+  suite::RunParams params;
+  params.kernel_filter = {
+      "Stream_TRIAD",   "Stream_DOT",         "Basic_DAXPY",
+      "Basic_MULADDSUB","Lcals_HYDRO_1D",     "Lcals_EOS",
+      "Apps_PRESSURE",  "Polybench_JACOBI_1D","Algorithm_MEMSET",
+      "Apps_FIR"};
+  params.variant_filter = {suite::VariantID::Base_OpenMP};
+  params.size_factor = 0.5;
+  params.npasses = 3;
+
+  suite::Executor exec(params);
+  exec.run();
+
+  const auto host = machine::local_host();
+  std::printf("Model validation on %s (%d cores): measured (Base_OpenMP) "
+              "vs predicted\n",
+              host.architecture.c_str(), host.cores_per_node);
+  bench::print_rule(96);
+  std::printf("%-26s %14s %14s %10s\n", "Kernel", "measured (us)",
+              "predicted (us)", "ratio");
+  bench::print_rule(96);
+
+  std::vector<double> measured, predicted;
+  for (const auto& kernel : exec.kernels()) {
+    const double m =
+        kernel->time_per_rep(suite::VariantID::Base_OpenMP) * 1e6;
+    const double p =
+        machine::predict(kernel->traits(), host).time_sec * 1e6;
+    measured.push_back(m);
+    predicted.push_back(p);
+    std::printf("%-26s %14.2f %14.2f %10.2f\n", kernel->name().c_str(), m,
+                p, m > 0.0 ? p / m : 0.0);
+  }
+  bench::print_rule(96);
+
+  // Rank correlation (Spearman on the two orderings).
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> order(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      r[order[i]] = static_cast<double>(i);
+    }
+    return r;
+  };
+  const auto rm = ranks(measured);
+  const auto rp = ranks(predicted);
+  double d2 = 0.0;
+  const double n = static_cast<double>(rm.size());
+  for (std::size_t i = 0; i < rm.size(); ++i) {
+    d2 += (rm[i] - rp[i]) * (rm[i] - rp[i]);
+  }
+  const double spearman = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+  std::printf("Spearman rank correlation (measured vs predicted): %.3f\n",
+              spearman);
+  std::printf("(the analyses consume orderings and ratios, not absolute "
+              "times; correlation near 1 validates the model's use)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Halo-exchange demo: the mini message-passing substrate end-to-end.
+// Eight ranks (threads) each own a subdomain of a periodic 3-D grid,
+// run Jacobi smoothing steps, and exchange one-cell halos through the
+// MiniComm mailbox transport using the HaloTopology pack/unpack lists —
+// the communication pattern behind the suite's Comm kernels.
+#include <cstdio>
+#include <vector>
+
+#include "comm/halo.hpp"
+#include "comm/minicomm.hpp"
+
+int main() {
+  using namespace rperf;
+  constexpr port::Index_type kLocalDim = 16;
+  constexpr int kSteps = 4;
+
+  comm::HaloTopology topo(kLocalDim);
+  comm::MiniComm comm(comm::HaloTopology::kNumRanks);
+  const auto cells = static_cast<std::size_t>(topo.local_cells());
+
+  // Shared result slot per rank (each rank writes only its own).
+  std::vector<double> rank_sums(comm::HaloTopology::kNumRanks, 0.0);
+
+  comm.run([&](comm::RankContext& ctx) {
+    const int rank = ctx.rank();
+    std::vector<double> field(cells,
+                              static_cast<double>(rank + 1));
+    const port::Index_type stride = kLocalDim + 2;
+
+    for (int step = 0; step < kSteps; ++step) {
+      // Pack and send one buffer per direction.
+      for (int d = 0; d < comm::HaloTopology::kNumDirections; ++d) {
+        const auto& plist = topo.pack_list(d);
+        std::vector<double> buf(plist.size());
+        for (std::size_t k = 0; k < plist.size(); ++k) {
+          buf[k] = field[static_cast<std::size_t>(plist[k])];
+        }
+        // Tag by the direction as seen by the receiver (opposite of d).
+        ctx.send(topo.neighbor(rank, d), 100 * step + topo.opposite(d),
+                 buf);
+      }
+      // Receive and unpack.
+      for (int d = 0; d < comm::HaloTopology::kNumDirections; ++d) {
+        const auto buf = ctx.recv(topo.neighbor(rank, d), 100 * step + d);
+        const auto& ulist = topo.unpack_list(d);
+        for (std::size_t k = 0; k < ulist.size(); ++k) {
+          field[static_cast<std::size_t>(ulist[k])] = buf[k];
+        }
+      }
+      // Jacobi smoothing on the interior.
+      std::vector<double> next = field;
+      for (port::Index_type x = 1; x <= kLocalDim; ++x) {
+        for (port::Index_type y = 1; y <= kLocalDim; ++y) {
+          for (port::Index_type z = 1; z <= kLocalDim; ++z) {
+            const port::Index_type c = (x * stride + y) * stride + z;
+            next[static_cast<std::size_t>(c)] =
+                (field[static_cast<std::size_t>(c)] +
+                 field[static_cast<std::size_t>(c + 1)] +
+                 field[static_cast<std::size_t>(c - 1)] +
+                 field[static_cast<std::size_t>(c + stride)] +
+                 field[static_cast<std::size_t>(c - stride)] +
+                 field[static_cast<std::size_t>(c + stride * stride)] +
+                 field[static_cast<std::size_t>(c - stride * stride)]) /
+                7.0;
+          }
+        }
+      }
+      field = std::move(next);
+      ctx.barrier();
+    }
+
+    double sum = 0.0;
+    for (port::Index_type x = 1; x <= kLocalDim; ++x) {
+      for (port::Index_type y = 1; y <= kLocalDim; ++y) {
+        for (port::Index_type z = 1; z <= kLocalDim; ++z) {
+          sum += field[static_cast<std::size_t>((x * stride + y) * stride +
+                                                z)];
+        }
+      }
+    }
+    rank_sums[static_cast<std::size_t>(rank)] = sum;
+    const double total = ctx.allreduce_sum(sum);
+    if (rank == 0) {
+      std::printf("global field sum after %d smoothing steps: %.6f\n",
+                  kSteps, total);
+    }
+  });
+
+  std::printf("per-rank interior sums (diffusion pulls them together):\n");
+  for (std::size_t r = 0; r < rank_sums.size(); ++r) {
+    std::printf("  rank %zu: %.4f\n", r, rank_sums[r]);
+  }
+  std::printf("demo complete: 8 ranks x %d steps x 26-direction halo "
+              "exchange through MiniComm.\n",
+              kSteps);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Roofline explorer: position any kernel on the instruction roofline of a
+// GPU machine model and explain what limits it — the Fig 5 analysis as an
+// interactive tool.
+//
+//   ./roofline_explorer [kernel] [machine]
+//   ./roofline_explorer Polybench_GEMM EPYC-MI250X
+#include <cstdio>
+#include <string>
+
+#include "analysis/simulate.hpp"
+#include "counters/ncu.hpp"
+#include "machine/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rperf;
+  const std::string kernel_name =
+      argc > 1 ? argv[1] : std::string("Stream_TRIAD");
+  const std::string machine_name =
+      argc > 2 ? argv[2] : std::string("P9-V100");
+
+  const auto& m = machine::by_shorthand(machine_name);
+  if (!m.is_gpu()) {
+    std::fprintf(stderr, "%s is a CPU system; pick P9-V100 or EPYC-MI250X\n",
+                 machine_name.c_str());
+    return 2;
+  }
+
+  const auto sims = analysis::simulate_suite(m);
+  for (const auto& r : sims) {
+    if (r.kernel != kernel_name) continue;
+    const auto ceilings = counters::roofline_ceilings(m);
+    const auto ncu = counters::simulate_ncu(r.traits, m);
+    const auto points = counters::roofline_points(
+        r.kernel, suite::to_string(r.group), ncu, r.prediction.time_sec);
+
+    std::printf("%s on %s (simulated, 32M problem)\n", kernel_name.c_str(),
+                machine_name.c_str());
+    std::printf("predicted time: %.4f ms;  %.1f GB/s;  %.1f GFLOP/s\n\n",
+                r.prediction.time_sec * 1e3,
+                (r.prediction.read_bw + r.prediction.write_bw) / 1e9,
+                r.prediction.flop_rate / 1e9);
+    std::printf("roofline ceilings: %.0f warp GIPS peak; %.0f/%.0f/%.0f "
+                "GTXN/s\n\n",
+                ceilings.peak_warp_gips, ceilings.l1_gtxn_per_sec,
+                ceilings.l2_gtxn_per_sec, ceilings.hbm_gtxn_per_sec);
+    for (const auto& p : points) {
+      const double attainable =
+          ceilings.attainable(p.level, p.instr_per_transaction);
+      const double knee =
+          ceilings.peak_warp_gips / ceilings.bandwidth_roof(p.level);
+      std::printf("%-4s intensity %.4f warp-instr/txn, %.2f warp GIPS "
+                  "(%.0f%% of attainable) -> %s-limited at this level "
+                  "(knee at %.3f)\n",
+                  counters::to_string(p.level).c_str(),
+                  p.instr_per_transaction, p.warp_gips,
+                  attainable > 0.0 ? 100.0 * p.warp_gips / attainable : 0.0,
+                  p.instr_per_transaction > knee ? "compute" : "bandwidth",
+                  knee);
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown kernel '%s' (see table1_inventory)\n",
+               kernel_name.c_str());
+  return 2;
+}

@@ -1,0 +1,183 @@
+#include "analysis/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rperf::analysis {
+
+std::vector<std::vector<double>> distance_matrix(
+    const std::vector<std::vector<double>>& points) {
+  const std::size_t n = points.size();
+  if (n == 0) throw std::invalid_argument("distance_matrix: no points");
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      throw std::invalid_argument("distance_matrix: ragged points");
+    }
+  }
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double diff = points[i][k] - points[j][k];
+        sum += diff * diff;
+      }
+      d[i][j] = d[j][i] = std::sqrt(sum);
+    }
+  }
+  return d;
+}
+
+std::vector<LinkageStep> ward_linkage(
+    const std::vector<std::vector<double>>& points) {
+  const std::size_t n = points.size();
+  std::vector<LinkageStep> steps;
+  if (n < 2) return steps;
+
+  // Active cluster bookkeeping: distance matrix updated in place with the
+  // Lance-Williams formula for Ward linkage.
+  std::vector<std::vector<double>> d = distance_matrix(points);
+  std::vector<int> id(n);        // external id of row i (leaf or merged)
+  std::vector<int> size(n, 1);   // leaves under row i
+  std::vector<bool> active(n, true);
+  for (std::size_t i = 0; i < n; ++i) id[i] = static_cast<int>(i);
+
+  int next_id = static_cast<int>(n);
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::max();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    LinkageStep s;
+    s.a = std::min(id[bi], id[bj]);
+    s.b = std::max(id[bi], id[bj]);
+    s.distance = best;
+    s.size = size[bi] + size[bj];
+    steps.push_back(s);
+
+    // Merge bj into bi; update distances to every other active cluster
+    // with the Ward Lance-Williams recurrence.
+    const double si = size[bi], sj = size[bj];
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      const double sk = size[k];
+      const double total = si + sj + sk;
+      const double dik = d[bi][k], djk = d[bj][k], dij = d[bi][bj];
+      const double updated =
+          std::sqrt(std::max(0.0, ((si + sk) / total) * dik * dik +
+                                      ((sj + sk) / total) * djk * djk -
+                                      (sk / total) * dij * dij));
+      d[bi][k] = d[k][bi] = updated;
+    }
+    active[bj] = false;
+    size[bi] += size[bj];
+    id[bi] = next_id++;
+  }
+  return steps;
+}
+
+std::vector<int> fcluster(const std::vector<LinkageStep>& links,
+                          std::size_t n_leaves, double threshold) {
+  // Union-find over leaves + merged ids; apply merges within threshold.
+  const std::size_t total = n_leaves + links.size();
+  std::vector<int> parent(total);
+  for (std::size_t i = 0; i < total; ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (std::size_t k = 0; k < links.size(); ++k) {
+    const int merged = static_cast<int>(n_leaves + k);
+    if (links[k].distance <= threshold) {
+      parent[static_cast<std::size_t>(find(links[k].a))] = merged;
+      parent[static_cast<std::size_t>(find(links[k].b))] = merged;
+    } else {
+      // The merged id still exists for later steps but joins nothing.
+      parent[static_cast<std::size_t>(merged)] = merged;
+    }
+  }
+  std::vector<int> assignment(n_leaves, -1);
+  std::map<int, int> renumber;
+  for (std::size_t leaf = 0; leaf < n_leaves; ++leaf) {
+    const int root = find(static_cast<int>(leaf));
+    auto it = renumber.emplace(root, static_cast<int>(renumber.size())).first;
+    assignment[leaf] = it->second;
+  }
+  return assignment;
+}
+
+std::string render_dendrogram(const std::vector<LinkageStep>& links,
+                              const std::vector<std::string>& labels) {
+  // Text rendering: recursively print the merge tree sideways.
+  const std::size_t n = labels.size();
+  std::ostringstream os;
+  std::function<void(int, int)> print = [&](int node, int depth) {
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    if (node < static_cast<int>(n)) {
+      os << indent << "- " << labels[static_cast<std::size_t>(node)] << '\n';
+      return;
+    }
+    const LinkageStep& s =
+        links[static_cast<std::size_t>(node) - n];
+    os << indent << "+ merge @ " << s.distance << " (" << s.size
+       << " kernels)\n";
+    print(s.a, depth + 1);
+    print(s.b, depth + 1);
+  };
+  if (links.empty()) {
+    for (const auto& l : labels) os << "- " << l << '\n';
+  } else {
+    print(static_cast<int>(n + links.size() - 1), 0);
+  }
+  return os.str();
+}
+
+std::vector<std::vector<double>> cluster_means(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<int>& assignment) {
+  if (points.size() != assignment.size()) {
+    throw std::invalid_argument("cluster_means: size mismatch");
+  }
+  int k = 0;
+  for (int a : assignment) k = std::max(k, a + 1);
+  if (k == 0 || points.empty()) return {};
+  const std::size_t dim = points[0].size();
+  std::vector<std::vector<double>> means(
+      static_cast<std::size_t>(k), std::vector<double>(dim, 0.0));
+  std::vector<int> counts(static_cast<std::size_t>(k), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto c = static_cast<std::size_t>(assignment[i]);
+    for (std::size_t j = 0; j < dim; ++j) means[c][j] += points[i][j];
+    counts[c]++;
+  }
+  for (std::size_t c = 0; c < means.size(); ++c) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (counts[c] > 0) means[c][j] /= counts[c];
+    }
+  }
+  return means;
+}
+
+}  // namespace rperf::analysis

@@ -1,0 +1,52 @@
+// Agglomerative hierarchical clustering with Ward linkage — the analysis
+// behind Figs 6-8 of the paper.
+//
+// Kernels are points in TMA space (5-tuples of top-down fractions).
+// Bottom-up merging uses the Lance-Williams update for Ward's minimum-
+// variance criterion on Euclidean distances; `fcluster` cuts the tree at a
+// distance threshold (the paper uses 1.4, yielding 4 clusters).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rperf::analysis {
+
+/// One merge step, scipy-linkage style: clusters `a` and `b` (ids < n are
+/// leaves; id n+k is the cluster formed by step k) merge at `distance`
+/// into a cluster of `size` leaves.
+struct LinkageStep {
+  int a = 0;
+  int b = 0;
+  double distance = 0.0;
+  int size = 0;
+};
+
+/// Euclidean distance matrix of the points (must be non-empty, uniform
+/// dimension; throws std::invalid_argument otherwise).
+[[nodiscard]] std::vector<std::vector<double>> distance_matrix(
+    const std::vector<std::vector<double>>& points);
+
+/// Ward-linkage agglomerative clustering. Returns n-1 merge steps with
+/// monotonically non-decreasing distances.
+[[nodiscard]] std::vector<LinkageStep> ward_linkage(
+    const std::vector<std::vector<double>>& points);
+
+/// Flat clusters: cut the linkage so merges with distance > threshold are
+/// not applied. Returns a cluster id per leaf, ids renumbered 0..k-1 in
+/// order of first appearance.
+[[nodiscard]] std::vector<int> fcluster(const std::vector<LinkageStep>& links,
+                                        std::size_t n_leaves,
+                                        double threshold);
+
+/// ASCII dendrogram (leaves listed bottom-up with merge distances).
+[[nodiscard]] std::string render_dendrogram(
+    const std::vector<LinkageStep>& links,
+    const std::vector<std::string>& labels);
+
+/// Per-cluster mean of each coordinate.
+[[nodiscard]] std::vector<std::vector<double>> cluster_means(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<int>& assignment);
+
+}  // namespace rperf::analysis

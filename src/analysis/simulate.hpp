@@ -1,0 +1,66 @@
+// Simulated suite runs on the paper's machines.
+//
+// For every Table I kernel, instantiate it at the paper's per-node problem
+// size (32M, Table III), feed its traits through the performance predictor
+// for a given machine model, and emit a Caliper-substitute profile whose
+// region metrics carry predicted time, TMA fractions, achieved rates, and
+// (for GPU machines) simulated NCU counters. These profiles flow through
+// the same Thicket pipeline as real host measurements, which is what lets
+// every figure of the paper be regenerated without the LLNL testbeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "instrument/profile.hpp"
+#include "machine/machine.hpp"
+#include "machine/predictor.hpp"
+#include "suite/registry.hpp"
+
+namespace rperf::analysis {
+
+/// The paper's per-node problem size (Table III).
+inline constexpr suite::Index_type kPaperProblemSize = 32000000;
+
+/// Table III row: how each machine is driven.
+struct MachineRunConfig {
+  std::string machine;  ///< shorthand
+  std::string variant;  ///< e.g. "RAJA_Seq" / "RAJA_CUDA" / "RAJA_HIP"
+  int nprocs = 1;
+  suite::Index_type problem_size_per_proc = 0;
+};
+[[nodiscard]] const std::vector<MachineRunConfig>& paper_run_configs();
+
+/// One kernel's simulated run on one machine.
+struct SimResult {
+  std::string kernel;
+  suite::GroupID group = suite::GroupID::Basic;
+  suite::Complexity complexity = suite::Complexity::N;
+  machine::KernelTraits traits;
+  machine::Prediction prediction;
+};
+
+/// Simulate every registered kernel (honoring RunParams-style filters is
+/// not needed here; all kernels run) on the given machine at the given
+/// per-node problem size.
+[[nodiscard]] std::vector<SimResult> simulate_suite(
+    const machine::MachineModel& machine,
+    suite::Index_type prob_size = kPaperProblemSize);
+
+/// Convert simulation results to a profile (metadata: machine, variant per
+/// Table III, simulated=true; per-kernel region metrics: time, tma_*,
+/// bytes, flops, achieved rates, and NCU counters on GPU machines).
+[[nodiscard]] cali::Profile to_profile(
+    const std::vector<SimResult>& results,
+    const machine::MachineModel& machine);
+
+/// Kernels entering the similarity analysis: the paper excludes kernels
+/// whose complexity is not O(N) (the node decomposition makes their work
+/// incomparable) — Comm halo kernels, sorts, and matrix-matrix kernels.
+[[nodiscard]] bool included_in_clustering(const SimResult& r);
+
+/// The clustering feature tuple: (frontend, bad spec, retiring, core,
+/// memory) TMA fractions.
+[[nodiscard]] std::vector<double> tma_feature(const SimResult& r);
+
+}  // namespace rperf::analysis

@@ -1,0 +1,130 @@
+#include "comm/halo.hpp"
+
+#include <stdexcept>
+
+namespace rperf::comm {
+
+namespace {
+
+/// Cell range along one dimension for packing (interior boundary layer)
+/// given the direction component. Interior cells are [1, ld].
+void pack_range(int d, Index_type ld, Index_type& lo, Index_type& hi) {
+  if (d == -1) {
+    lo = 1;
+    hi = 1;
+  } else if (d == 1) {
+    lo = ld;
+    hi = ld;
+  } else {
+    lo = 1;
+    hi = ld;
+  }
+}
+
+/// Ghost-cell range for unpacking from direction d.
+void unpack_range(int d, Index_type ld, Index_type& lo, Index_type& hi) {
+  if (d == -1) {
+    lo = 0;
+    hi = 0;
+  } else if (d == 1) {
+    lo = ld + 1;
+    hi = ld + 1;
+  } else {
+    lo = 1;
+    hi = ld;
+  }
+}
+
+}  // namespace
+
+HaloTopology::HaloTopology(Index_type local_dim) : ld_(local_dim) {
+  if (local_dim < 1) {
+    throw std::invalid_argument("HaloTopology: local_dim must be >= 1");
+  }
+  // Enumerate the 26 directions.
+  int dcount = 0;
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        dirs_[static_cast<std::size_t>(dcount)] = {dx, dy, dz};
+        ++dcount;
+      }
+    }
+  }
+  // Opposites.
+  for (int a = 0; a < kNumDirections; ++a) {
+    for (int b = 0; b < kNumDirections; ++b) {
+      if (dirs_[static_cast<std::size_t>(a)][0] ==
+              -dirs_[static_cast<std::size_t>(b)][0] &&
+          dirs_[static_cast<std::size_t>(a)][1] ==
+              -dirs_[static_cast<std::size_t>(b)][1] &&
+          dirs_[static_cast<std::size_t>(a)][2] ==
+              -dirs_[static_cast<std::size_t>(b)][2]) {
+        opposite_[static_cast<std::size_t>(a)] = b;
+      }
+    }
+  }
+  // Periodic neighbor ranks on the 2x2x2 grid.
+  auto rank_of = [](int x, int y, int z) {
+    auto wrap = [](int v) { return ((v % kRanksPerDim) + kRanksPerDim) % kRanksPerDim; };
+    return (wrap(x) * kRanksPerDim + wrap(y)) * kRanksPerDim + wrap(z);
+  };
+  for (int x = 0; x < kRanksPerDim; ++x) {
+    for (int y = 0; y < kRanksPerDim; ++y) {
+      for (int z = 0; z < kRanksPerDim; ++z) {
+        const int r = rank_of(x, y, z);
+        for (int d = 0; d < kNumDirections; ++d) {
+          const auto& dir = dirs_[static_cast<std::size_t>(d)];
+          neighbors_[static_cast<std::size_t>(r)]
+                    [static_cast<std::size_t>(d)] =
+              rank_of(x + dir[0], y + dir[1], z + dir[2]);
+        }
+      }
+    }
+  }
+  // Pack / unpack lists.
+  const Index_type stride_z = 1;
+  const Index_type stride_y = ld_ + 2;
+  const Index_type stride_x = (ld_ + 2) * (ld_ + 2);
+  for (int d = 0; d < kNumDirections; ++d) {
+    const auto& dir = dirs_[static_cast<std::size_t>(d)];
+    Index_type pxlo, pxhi, pylo, pyhi, pzlo, pzhi;
+    pack_range(dir[0], ld_, pxlo, pxhi);
+    pack_range(dir[1], ld_, pylo, pyhi);
+    pack_range(dir[2], ld_, pzlo, pzhi);
+    auto& plist = pack_lists_[static_cast<std::size_t>(d)];
+    for (Index_type x = pxlo; x <= pxhi; ++x) {
+      for (Index_type y = pylo; y <= pyhi; ++y) {
+        for (Index_type z = pzlo; z <= pzhi; ++z) {
+          plist.push_back(x * stride_x + y * stride_y + z * stride_z);
+        }
+      }
+    }
+    Index_type uxlo, uxhi, uylo, uyhi, uzlo, uzhi;
+    unpack_range(dir[0], ld_, uxlo, uxhi);
+    unpack_range(dir[1], ld_, uylo, uyhi);
+    unpack_range(dir[2], ld_, uzlo, uzhi);
+    auto& ulist = unpack_lists_[static_cast<std::size_t>(d)];
+    for (Index_type x = uxlo; x <= uxhi; ++x) {
+      for (Index_type y = uylo; y <= uyhi; ++y) {
+        for (Index_type z = uzlo; z <= uzhi; ++z) {
+          ulist.push_back(x * stride_x + y * stride_y + z * stride_z);
+        }
+      }
+    }
+    if (plist.size() != ulist.size()) {
+      throw std::logic_error("HaloTopology: pack/unpack list size mismatch");
+    }
+  }
+}
+
+Index_type HaloTopology::total_pack_elements() const {
+  Index_type total = 0;
+  for (const auto& list : pack_lists_) {
+    total += static_cast<Index_type>(list.size());
+  }
+  return total;
+}
+
+}  // namespace rperf::comm

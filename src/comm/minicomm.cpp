@@ -1,0 +1,171 @@
+#include "comm/minicomm.hpp"
+
+#include <exception>
+
+namespace rperf::comm {
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::has_message(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& m : queue_) {
+    if (m.source == source && m.tag == tag) return true;
+  }
+  return false;
+}
+
+bool Request::test() {
+  if (done_) return true;
+  if (mailbox_->has_message(source_, tag_)) {
+    payload_ = mailbox_->receive(source_, tag_).payload;
+    done_ = true;
+  }
+  return done_;
+}
+
+std::vector<double> Request::wait() {
+  if (!done_) {
+    payload_ = mailbox_->receive(source_, tag_).payload;
+    done_ = true;
+  }
+  return payload_;
+}
+
+std::vector<std::vector<double>> wait_all(std::vector<Request>& requests) {
+  std::vector<std::vector<double>> out;
+  out.reserve(requests.size());
+  for (Request& r : requests) out.push_back(r.wait());
+  return out;
+}
+
+int RankContext::size() const { return comm_.size(); }
+
+void RankContext::send(int dest, int tag, const double* data,
+                       std::size_t count) {
+  if (dest < 0 || dest >= comm_.size()) {
+    throw std::out_of_range("send: bad destination rank");
+  }
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(data, data + count);
+  comm_.mailbox(dest).deliver(std::move(msg));
+}
+
+std::vector<double> RankContext::recv(int source, int tag) {
+  if (source < 0 || source >= comm_.size()) {
+    throw std::out_of_range("recv: bad source rank");
+  }
+  return comm_.mailbox(rank_).receive(source, tag).payload;
+}
+
+std::vector<double> RankContext::sendrecv(int partner, int tag,
+                                          const double* data,
+                                          std::size_t count) {
+  send(partner, tag, data, count);
+  return recv(partner, tag);
+}
+
+Request RankContext::isend(int dest, int tag, const double* data,
+                           std::size_t count) {
+  send(dest, tag, data, count);  // buffered: already complete
+  return Request{};
+}
+
+Request RankContext::irecv(int source, int tag) {
+  if (source < 0 || source >= comm_.size()) {
+    throw std::out_of_range("irecv: bad source rank");
+  }
+  Request r;
+  r.mailbox_ = &comm_.mailbox(rank_);
+  r.source_ = source;
+  r.tag_ = tag;
+  r.done_ = false;
+  return r;
+}
+
+void RankContext::barrier() { comm_.barrier_wait(); }
+
+double RankContext::allreduce_sum(double value) {
+  // Phase 1: accumulate into the shared slot.
+  {
+    std::lock_guard<std::mutex> lock(comm_.reduce_mutex_);
+    comm_.reduce_value_ += value;
+  }
+  comm_.barrier_wait();
+  // Phase 2: everyone reads; a second barrier guards the reset.
+  const double result = comm_.reduce_value_;
+  comm_.barrier_wait();
+  {
+    std::lock_guard<std::mutex> lock(comm_.reduce_mutex_);
+    comm_.reduce_value_ = 0.0;
+  }
+  comm_.barrier_wait();
+  return result;
+}
+
+MiniComm::MiniComm(int nranks) : nranks_(nranks) {
+  if (nranks < 1) throw std::invalid_argument("MiniComm: nranks must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& MiniComm::mailbox(int rank) {
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void MiniComm::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_count_ == nranks_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  }
+}
+
+void MiniComm::run(const std::function<void(RankContext&)>& rank_fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      RankContext ctx(*this, r);
+      try {
+        rank_fn(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace rperf::comm

@@ -1,0 +1,139 @@
+// Mini message-passing substrate — the MPI substitute.
+//
+// Two layers:
+//
+//  * `Mailbox` / `MiniComm`: a real in-process message-passing runtime.
+//    Ranks run as threads; send/recv move tagged byte payloads through
+//    per-rank mailboxes with blocking receive and a collective barrier.
+//    Used by the halo-exchange example and the comm tests.
+//
+//  * `HaloTopology` (halo.hpp): a single-threaded virtual-rank decomposition
+//    used by the suite's Comm kernels, which measure the *packing* patterns;
+//    message transport there is a mailbox delivery between virtual ranks in
+//    the same address space.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rperf::comm {
+
+/// A tagged message between ranks.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<double> payload;
+};
+
+/// Thread-safe per-rank mailbox with blocking matched receive.
+class Mailbox {
+ public:
+  void deliver(Message msg);
+  /// Block until a message with the given source and tag arrives.
+  Message receive(int source, int tag);
+  /// Non-blocking probe.
+  [[nodiscard]] bool has_message(int source, int tag);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+class MiniComm;
+
+/// Handle for a nonblocking operation. Sends are buffered and complete
+/// immediately; receive requests complete when a matching message arrives.
+class Request {
+ public:
+  /// Nonblocking completion probe.
+  [[nodiscard]] bool test();
+  /// Block until complete; for receives, returns the payload (empty for
+  /// sends). Calling wait() twice returns the same payload.
+  std::vector<double> wait();
+
+ private:
+  friend class RankContext;
+  Request() = default;
+  Mailbox* mailbox_ = nullptr;  // null for completed/send requests
+  int source_ = -1;
+  int tag_ = 0;
+  bool done_ = true;
+  std::vector<double> payload_;
+};
+
+/// Wait on a set of requests; returns each request's payload in order.
+std::vector<std::vector<double>> wait_all(std::vector<Request>& requests);
+
+/// Per-rank handle passed to the rank function.
+class RankContext {
+ public:
+  RankContext(MiniComm& comm, int rank) : comm_(comm), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Blocking standard send (buffered: returns after enqueue).
+  void send(int dest, int tag, const double* data, std::size_t count);
+  void send(int dest, int tag, const std::vector<double>& data) {
+    send(dest, tag, data.data(), data.size());
+  }
+  /// Blocking matched receive.
+  std::vector<double> recv(int source, int tag);
+  /// Nonblocking send (buffered: the request is complete on return).
+  Request isend(int dest, int tag, const double* data, std::size_t count);
+  Request isend(int dest, int tag, const std::vector<double>& data) {
+    return isend(dest, tag, data.data(), data.size());
+  }
+  /// Nonblocking receive: wait()/test() on the returned request.
+  Request irecv(int source, int tag);
+  /// Combined exchange with a partner (deadlock-free).
+  std::vector<double> sendrecv(int partner, int tag, const double* data,
+                               std::size_t count);
+  /// Collective barrier over all ranks.
+  void barrier();
+  /// Sum-allreduce of one double across ranks.
+  double allreduce_sum(double value);
+
+ private:
+  MiniComm& comm_;
+  int rank_;
+};
+
+/// In-process communicator: runs `nranks` rank functions on threads.
+class MiniComm {
+ public:
+  explicit MiniComm(int nranks);
+
+  [[nodiscard]] int size() const { return nranks_; }
+
+  /// Run one function per rank on its own thread; rethrows the first rank
+  /// exception after joining all threads.
+  void run(const std::function<void(RankContext&)>& rank_fn);
+
+ private:
+  friend class RankContext;
+
+  Mailbox& mailbox(int rank);
+  void barrier_wait();
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::mutex reduce_mutex_;
+  double reduce_value_ = 0.0;
+};
+
+}  // namespace rperf::comm

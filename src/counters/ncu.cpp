@@ -1,0 +1,158 @@
+#include "counters/ncu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "machine/predictor.hpp"
+
+namespace rperf::counters {
+
+using machine::KernelTraits;
+using machine::MachineModel;
+
+std::string to_string(CacheLevel level) {
+  switch (level) {
+    case CacheLevel::L1: return "L1";
+    case CacheLevel::L2: return "L2";
+    case CacheLevel::HBM: return "HBM";
+  }
+  return "?";
+}
+
+NCUCounters simulate_ncu(const KernelTraits& traits,
+                         const MachineModel& machine) {
+  if (!machine.is_gpu()) {
+    throw std::invalid_argument("simulate_ncu requires a GPU machine model");
+  }
+  NCUCounters c;
+
+  // Thread instructions: the predictor models warp-level issue slots on
+  // GPUs (simd_elems = 32 threads per warp instruction); NCU reports
+  // per-thread executed instructions.
+  const double thread_inst =
+      machine::modeled_instructions(traits, machine) * machine.simd_elems;
+  c["sm__sass_thread_inst_executed.sum"] = thread_inst;
+
+  // L1 sectors: each 32-byte sector touched; poor coalescing multiplies the
+  // sector count (a warp touching scattered addresses pulls more sectors).
+  const double coalesce = std::clamp(traits.access_eff_gpu, 0.05, 1.0);
+  const double rd_sectors_l1 = traits.bytes_read / 32.0 / coalesce;
+  const double wr_sectors_l1 = traits.bytes_written / 32.0 / coalesce;
+  c["l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum"] = rd_sectors_l1;
+  c["l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum"] = wr_sectors_l1;
+  c["l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum"] = 0.0;
+  c["l1tex__t_requests_pipe_lsu_mem_local_op_st.sum"] = 0.0;
+
+  // L2 sectors: L1 misses. Temporal reuse (tiled matmul, FEM quadrature)
+  // raises l1_hit; streaming kernels miss everything.
+  const double l1_hit = std::clamp(traits.l1_hit, 0.0, 0.99);
+  const double rd_sectors_l2 = rd_sectors_l1 * (1.0 - l1_hit);
+  const double wr_sectors_l2 = wr_sectors_l1;  // write-through to L2
+  c["lts__t_sectors_op_read.sum"] = rd_sectors_l2;
+  c["lts__t_sectors_op_write.sum"] = wr_sectors_l2;
+  const double atomic_sectors = traits.atomics;  // one sector per atomic
+  c["lts__t_sectors_op_atom.sum"] = atomic_sectors * 0.5;
+  c["lts__t_sectors_op_red.sum"] = atomic_sectors * 0.5;
+
+  // DRAM sectors: L2 misses, floored at compulsory traffic (each distinct
+  // byte of the working set must be fetched at least once).
+  const double l2_hit = std::clamp(traits.l2_hit, 0.0, 0.99);
+  double dram_rd = rd_sectors_l2 * (1.0 - l2_hit);
+  double dram_wr = wr_sectors_l2 * (1.0 - l2_hit);
+  const double compulsory_rd = traits.bytes_read / 32.0;
+  dram_rd = std::max(dram_rd, std::min(rd_sectors_l2, compulsory_rd) * 0.1);
+  c["dram__sectors_read.sum"] = dram_rd;
+  c["dram__sectors_write.sum"] = dram_wr;
+
+  c["time (gpu)"] = machine::predict(traits, machine).time_sec;
+  return c;
+}
+
+RooflineCeilings roofline_ceilings(const MachineModel& machine) {
+  RooflineCeilings r;
+  // Warp instruction rate: one warp instruction per scheduler per cycle.
+  r.peak_warp_gips = machine.frontend_gips;
+  // Transactions are 32-byte sectors; a cache level moving B bytes/s
+  // sustains B/32 transactions/s.
+  const double hbm_txn = machine.peak_bw_node() / 32.0 / 1e9;
+  r.hbm_gtxn_per_sec = hbm_txn;
+  r.l2_gtxn_per_sec = hbm_txn * machine.l2_bw_mult;
+  r.l1_gtxn_per_sec = hbm_txn * machine.l2_bw_mult * 3.0;
+  return r;
+}
+
+double RooflineCeilings::bandwidth_roof(CacheLevel level) const {
+  switch (level) {
+    case CacheLevel::L1: return l1_gtxn_per_sec;
+    case CacheLevel::L2: return l2_gtxn_per_sec;
+    case CacheLevel::HBM: return hbm_gtxn_per_sec;
+  }
+  return 0.0;
+}
+
+double RooflineCeilings::attainable(CacheLevel level,
+                                    double intensity) const {
+  return std::min(peak_warp_gips, intensity * bandwidth_roof(level));
+}
+
+std::vector<RooflinePoint> roofline_points(const std::string& kernel,
+                                           const std::string& group,
+                                           const NCUCounters& counters,
+                                           double time_sec) {
+  auto get = [&](const char* name) {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+  };
+  const double warp_inst =
+      get("sm__sass_thread_inst_executed.sum") / 32.0;
+  const double l1_txn =
+      get("l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum") +
+      get("l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum") +
+      get("l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum") +
+      get("l1tex__t_requests_pipe_lsu_mem_local_op_st.sum");
+  const double l2_txn = get("lts__t_sectors_op_read.sum") +
+                        get("lts__t_sectors_op_write.sum") +
+                        get("lts__t_sectors_op_atom.sum") +
+                        get("lts__t_sectors_op_red.sum");
+  const double hbm_txn =
+      get("dram__sectors_read.sum") + get("dram__sectors_write.sum");
+
+  const double gips = time_sec > 0.0 ? warp_inst / time_sec / 1e9 : 0.0;
+  auto point = [&](CacheLevel level, double txn) {
+    RooflinePoint p;
+    p.kernel = kernel;
+    p.group = group;
+    p.level = level;
+    p.warp_gips = gips;
+    p.instr_per_transaction = txn > 0.0 ? warp_inst / txn : 0.0;
+    return p;
+  };
+  return {point(CacheLevel::L1, l1_txn), point(CacheLevel::L2, l2_txn),
+          point(CacheLevel::HBM, hbm_txn)};
+}
+
+const std::vector<NCUMetricInfo>& ncu_metric_table() {
+  static const std::vector<NCUMetricInfo> table = {
+      {"sm__sass_thread_inst_executed.sum", "thread-based",
+       "non-predicated thread instructions"},
+      {"l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum", "warp-based",
+       "L1 cache transactions (global load)"},
+      {"l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum", "warp-based",
+       "L1 cache transactions (global store)"},
+      {"l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum", "warp-based",
+       "L1 cache transactions (local load)"},
+      {"l1tex__t_requests_pipe_lsu_mem_local_op_st.sum", "warp-based",
+       "L1 cache transactions (local store)"},
+      {"lts__t_sectors_op_read.sum", "warp-based", "L2 cache reads"},
+      {"lts__t_sectors_op_write.sum", "warp-based", "L2 cache writes"},
+      {"lts__t_sectors_op_atom.sum", "warp-based", "L2 cache atomics"},
+      {"lts__t_sectors_op_red.sum", "warp-based", "L2 cache reductions"},
+      {"dram__sectors_read.sum", "warp-based", "HBM memory reads"},
+      {"dram__sectors_write.sum", "warp-based", "HBM memory writes"},
+      {"time (gpu)", "kernel-based", "execution time"},
+  };
+  return table;
+}
+
+}  // namespace rperf::counters

@@ -1,0 +1,70 @@
+// Simulated Nsight-Compute counters and the Instruction Roofline model.
+//
+// Table IV of the paper lists the NCU metrics consumed by the Instruction
+// Roofline analysis of Ding & Williams: non-predicated thread instructions,
+// L1 / L2 / DRAM sector (transaction) counts, and kernel time. We emit the
+// same metric names from the kernel traits and a GPU machine model, then
+// compute per-cache-level roofline points (Warp GIPS vs. warp instructions
+// per transaction) and ceilings.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "machine/traits.hpp"
+
+namespace rperf::counters {
+
+/// Raw simulated counters keyed by the NCU metric names of Table IV.
+using NCUCounters = std::map<std::string, double>;
+
+/// Simulate one kernel execution's NCU counters on a GPU machine.
+[[nodiscard]] NCUCounters simulate_ncu(const machine::KernelTraits& traits,
+                                       const machine::MachineModel& machine);
+
+enum class CacheLevel { L1, L2, HBM };
+
+[[nodiscard]] std::string to_string(CacheLevel level);
+
+/// One kernel's position on the instruction roofline at one cache level.
+struct RooflinePoint {
+  std::string kernel;
+  std::string group;
+  CacheLevel level = CacheLevel::L1;
+  double warp_gips = 0.0;              ///< performance (y)
+  double instr_per_transaction = 0.0;  ///< instruction intensity (x)
+};
+
+/// Machine ceilings for the instruction roofline.
+struct RooflineCeilings {
+  double peak_warp_gips = 0.0;  ///< horizontal roof
+  double l1_gtxn_per_sec = 0.0; ///< diagonal roofs per level
+  double l2_gtxn_per_sec = 0.0;
+  double hbm_gtxn_per_sec = 0.0;
+
+  [[nodiscard]] double bandwidth_roof(CacheLevel level) const;
+  /// Attainable GIPS at a given intensity and level:
+  /// min(peak, intensity x transactions_rate).
+  [[nodiscard]] double attainable(CacheLevel level, double intensity) const;
+};
+
+[[nodiscard]] RooflineCeilings roofline_ceilings(
+    const machine::MachineModel& machine);
+
+/// Compute the three per-level roofline points from simulated counters and
+/// the kernel execution time (seconds).
+[[nodiscard]] std::vector<RooflinePoint> roofline_points(
+    const std::string& kernel, const std::string& group,
+    const NCUCounters& counters, double time_sec);
+
+/// Table IV rows: metric name -> (category, description).
+struct NCUMetricInfo {
+  std::string metric;
+  std::string category;
+  std::string description;
+};
+[[nodiscard]] const std::vector<NCUMetricInfo>& ncu_metric_table();
+
+}  // namespace rperf::counters

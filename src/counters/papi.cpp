@@ -1,0 +1,58 @@
+#include "counters/papi.hpp"
+
+#include <stdexcept>
+
+#include "machine/predictor.hpp"
+
+namespace rperf::counters {
+
+using machine::KernelTraits;
+using machine::MachineModel;
+
+PAPICounters simulate_papi(const KernelTraits& traits,
+                           const MachineModel& machine) {
+  if (machine.is_gpu()) {
+    throw std::invalid_argument("simulate_papi requires a CPU machine model");
+  }
+  const machine::Prediction p = machine::predict(traits, machine);
+  PAPICounters c;
+
+  // Dynamic instruction stream (node aggregate, per repetition).
+  const double total_ins = p.instructions;
+  c["PAPI_TOT_INS"] = total_ins;
+
+  // Cycles: wall time x aggregate core-cycles/second.
+  const double cycles =
+      p.time_sec * machine.clock_ghz * 1e9 * machine.cores_per_node;
+  c["PAPI_TOT_CYC"] = cycles;
+  c["PAPI_REF_CYC"] = cycles;
+
+  c["PAPI_FP_OPS"] = traits.flops;
+
+  // Loads / stores: one access per 8 bytes moved in each direction.
+  c["PAPI_LD_INS"] = traits.bytes_read / 8.0;
+  c["PAPI_SR_INS"] = traits.bytes_written / 8.0;
+
+  c["PAPI_BR_INS"] = traits.branches;
+  c["PAPI_BR_MSP"] = traits.branches * traits.mispredict_rate;
+
+  // Cache misses: every line of traffic that spills the resident level
+  // misses the levels above it (64-byte lines).
+  const double lines = traits.bytes_total() / 64.0;
+  const double ws = traits.working_set_bytes;
+  const double l2_total = machine.l2_bytes * machine.units_per_node;
+  const double llc_total = machine.llc_bytes * machine.units_per_node;
+  const bool fits_l2 = ws > 0.0 && ws <= l2_total;
+  const bool fits_llc = llc_total > 0.0 && ws > 0.0 && ws <= llc_total;
+  c["PAPI_L2_DCM"] = fits_l2 ? lines * 0.02 : lines;
+  c["PAPI_L3_TCM"] = (fits_l2 || fits_llc) ? lines * 0.02 : lines;
+
+  return c;
+}
+
+double ipc(const PAPICounters& counters) {
+  const double cyc = counters.at("PAPI_TOT_CYC");
+  return cyc > 0.0 ? counters.at("PAPI_TOT_INS") / cyc : 0.0;
+}
+
+}  // namespace rperf::counters

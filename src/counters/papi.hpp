@@ -1,0 +1,32 @@
+// Simulated PAPI counters — the CPU measurement interface of the paper.
+//
+// Section III-A: "On CPUs, we use the industry-standard PAPI counters to
+// measure performance." The TMA fractions are computed from designated
+// hardware counters; this module emits the standard PAPI preset events a
+// real collection would read, derived from the same performance model, so
+// downstream tooling written against PAPI names works unchanged.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "machine/machine.hpp"
+#include "machine/traits.hpp"
+
+namespace rperf::counters {
+
+/// PAPI preset event values for one kernel repetition on a CPU machine.
+/// Keys are standard PAPI names (PAPI_TOT_INS, PAPI_TOT_CYC, PAPI_FP_OPS,
+/// PAPI_LD_INS, PAPI_SR_INS, PAPI_BR_INS, PAPI_BR_MSP, PAPI_L2_DCM,
+/// PAPI_L3_TCM, PAPI_REF_CYC).
+using PAPICounters = std::map<std::string, double>;
+
+/// Simulate the PAPI counters; throws std::invalid_argument for GPU
+/// machines (use simulate_ncu there).
+[[nodiscard]] PAPICounters simulate_papi(const machine::KernelTraits& traits,
+                                         const machine::MachineModel& machine);
+
+/// Derived instructions-per-cycle from a counter set.
+[[nodiscard]] double ipc(const PAPICounters& counters);
+
+}  // namespace rperf::counters

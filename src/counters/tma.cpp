@@ -1,0 +1,134 @@
+#include "counters/tma.hpp"
+
+#include <sstream>
+
+namespace rperf::counters {
+
+using machine::KernelTraits;
+using machine::MachineModel;
+
+const TMANode* TMANode::find(const std::string& node_name) const {
+  if (name == node_name) return this;
+  for (const TMANode& c : children) {
+    if (const TMANode* hit = c.find(node_name)) return hit;
+  }
+  return nullptr;
+}
+
+TMANode hierarchy_skeleton() {
+  TMANode root{"Pipeline Slots", 1.0, {}};
+  root.children = {
+      TMANode{"Frontend Bound",
+              0.0,
+              {TMANode{"Fetch Latency", 0.0, {}},
+               TMANode{"Fetch Bandwidth", 0.0, {}}}},
+      TMANode{"Bad Speculation",
+              0.0,
+              {TMANode{"Branch Mispredicts", 0.0, {}},
+               TMANode{"Machine Clears", 0.0, {}}}},
+      TMANode{"Retiring",
+              0.0,
+              {TMANode{"Base", 0.0, {}},
+               TMANode{"Microcode Sequencer", 0.0, {}}}},
+      TMANode{"Backend Bound",
+              0.0,
+              {TMANode{"Core Bound", 0.0, {}},
+               TMANode{"Memory Bound",
+                       0.0,
+                       {TMANode{"L1 Bound", 0.0, {}},
+                        TMANode{"L2 Bound", 0.0, {}},
+                        TMANode{"L3 Bound", 0.0, {}},
+                        TMANode{"DRAM Bound", 0.0, {}},
+                        TMANode{"Store Bound", 0.0, {}}}}}},
+  };
+  return root;
+}
+
+TMANode tma_tree(const KernelTraits& traits, const MachineModel& machine) {
+  const machine::Prediction p = machine::predict(traits, machine);
+  TMANode root = hierarchy_skeleton();
+
+  TMANode& fe = root.children[0];
+  TMANode& bs = root.children[1];
+  TMANode& ret = root.children[2];
+  TMANode& be = root.children[3];
+
+  fe.fraction = p.tma.frontend_bound;
+  // Large code footprints stall on fetch latency (icache misses); simple
+  // bodies that still saturate decode are fetch-bandwidth bound.
+  const double latency_share = traits.code_complexity > 2.0 ? 0.75 : 0.35;
+  fe.children[0].fraction = fe.fraction * latency_share;
+  fe.children[1].fraction = fe.fraction * (1.0 - latency_share);
+
+  bs.fraction = p.tma.bad_speculation;
+  bs.children[0].fraction = bs.fraction * 0.9;  // mispredicts dominate
+  bs.children[1].fraction = bs.fraction * 0.1;
+
+  ret.fraction = p.tma.retiring;
+  // Atomic RMWs retire through microcoded flows.
+  const double slots = p.breakdown.pipeline_total();
+  const double ucode =
+      slots > 0.0 ? p.breakdown.atomic / slots : 0.0;
+  ret.children[0].fraction = ret.fraction - ucode;
+  ret.children[1].fraction = ucode;
+
+  be.fraction = p.tma.core_bound + p.tma.memory_bound;
+  be.children[0].fraction = p.tma.core_bound;
+  TMANode& mem = be.children[1];
+  mem.fraction = p.tma.memory_bound;
+  // Attribute memory stalls to the level the working set spills to.
+  const double ws = traits.working_set_bytes;
+  const double l2_total = machine.l2_bytes * machine.units_per_node;
+  const double llc_total = machine.llc_bytes * machine.units_per_node;
+  double l1 = 0.0, l2 = 0.0, l3 = 0.0, dram = 0.0;
+  if (ws <= machine.l1_bytes * machine.units_per_node) {
+    l1 = 1.0;
+  } else if (ws <= l2_total) {
+    l1 = 0.2;
+    l2 = 0.8;
+  } else if (llc_total > 0.0 && ws <= llc_total) {
+    l2 = 0.25;
+    l3 = 0.75;
+  } else {
+    l3 = 0.15;
+    dram = 0.85;
+  }
+  const double wr_share =
+      traits.bytes_total() > 0.0
+          ? traits.bytes_written / traits.bytes_total() * 0.5
+          : 0.0;
+  mem.children[0].fraction = mem.fraction * l1 * (1.0 - wr_share);
+  mem.children[1].fraction = mem.fraction * l2 * (1.0 - wr_share);
+  mem.children[2].fraction = mem.fraction * l3 * (1.0 - wr_share);
+  mem.children[3].fraction = mem.fraction * dram * (1.0 - wr_share);
+  mem.children[4].fraction = mem.fraction * wr_share;
+
+  return root;
+}
+
+std::vector<double> tma_tuple(const machine::TMAFractions& tma) {
+  return {tma.frontend_bound, tma.bad_speculation, tma.retiring,
+          tma.core_bound, tma.memory_bound};
+}
+
+const std::vector<std::string>& tma_tuple_names() {
+  static const std::vector<std::string> names = {
+      "Frontend Bound", "Bad Speculation", "Retiring", "Core Bound",
+      "Memory Bound"};
+  return names;
+}
+
+std::string render_tree(const TMANode& node, int indent) {
+  std::ostringstream os;
+  os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << node.name;
+  if (indent > 0 || node.fraction != 1.0) {
+    os << "  [" << node.fraction * 100.0 << "%]";
+  }
+  os << '\n';
+  for (const TMANode& c : node.children) {
+    os << render_tree(c, indent + 1);
+  }
+  return os.str();
+}
+
+}  // namespace rperf::counters

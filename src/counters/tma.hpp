@@ -1,0 +1,51 @@
+// Top-Down Microarchitecture Analysis (TMA) tree — Fig 2 of the paper.
+//
+// TMA attributes pipeline slots of an out-of-order CPU to a hierarchy:
+//   Frontend Bound   -> Fetch Latency, Fetch Bandwidth
+//   Bad Speculation  -> Branch Mispredicts, Machine Clears
+//   Retiring         -> Base, Microcode Sequencer
+//   Backend Bound    -> Core Bound, Memory Bound -> L1/L2/L3/DRAM/Store
+//
+// The paper uses only the top two levels; we model the full tree so the
+// hierarchy figure can be regenerated and level-2 nodes are populated with
+// the simulator's best attribution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "machine/predictor.hpp"
+#include "machine/traits.hpp"
+
+namespace rperf::counters {
+
+/// One node of the TMA hierarchy with its slot fraction.
+struct TMANode {
+  std::string name;
+  double fraction = 0.0;  ///< of total pipeline slots
+  std::vector<TMANode> children;
+
+  [[nodiscard]] const TMANode* find(const std::string& node_name) const;
+};
+
+/// Build the full TMA tree for a kernel on a CPU machine model. Level-1
+/// fractions sum to 1; each node's children sum to the node's fraction.
+[[nodiscard]] TMANode tma_tree(const machine::KernelTraits& traits,
+                               const machine::MachineModel& machine);
+
+/// The five-tuple used for clustering in the paper (frontend, bad spec,
+/// retiring, core bound, memory bound), extracted from a prediction.
+[[nodiscard]] std::vector<double> tma_tuple(
+    const machine::TMAFractions& tma);
+
+/// Names matching tma_tuple order.
+[[nodiscard]] const std::vector<std::string>& tma_tuple_names();
+
+/// Render the hierarchy as indented text (Fig 2 regeneration).
+[[nodiscard]] std::string render_tree(const TMANode& root, int indent = 0);
+
+/// The static hierarchy with no fractions (structure only).
+[[nodiscard]] TMANode hierarchy_skeleton();
+
+}  // namespace rperf::counters

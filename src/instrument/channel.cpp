@@ -1,0 +1,111 @@
+#include "instrument/channel.hpp"
+
+#include <sstream>
+
+namespace rperf::cali {
+
+RegionNode& RegionNode::child(const std::string& child_name) {
+  for (auto& c : children) {
+    if (c->name == child_name) return *c;
+  }
+  auto node = std::make_unique<RegionNode>();
+  node->name = child_name;
+  node->parent = this;
+  children.push_back(std::move(node));
+  return *children.back();
+}
+
+const RegionNode* RegionNode::find(const std::string& child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::string RegionNode::path() const {
+  if (parent == nullptr) return "";
+  std::string prefix = parent->path();
+  return prefix.empty() ? name : prefix + "/" + name;
+}
+
+Channel::Channel() : root_(std::make_unique<RegionNode>()) {
+  stack_.push_back(root_.get());
+  times_.push_back(Clock::now());
+}
+
+void Channel::begin(const std::string& region) {
+  if (region.empty()) throw AnnotationError("begin: empty region name");
+  RegionNode& node = stack_.back()->child(region);
+  stack_.push_back(&node);
+  const auto now = Clock::now();
+  times_.push_back(now);
+  if (hook_) {
+    hook_(region, /*is_begin=*/true,
+          std::chrono::duration<double>(now - epoch_).count());
+  }
+}
+
+void Channel::end(const std::string& region) {
+  if (stack_.size() <= 1) {
+    throw AnnotationError("end('" + region + "') with no open region");
+  }
+  RegionNode* node = stack_.back();
+  if (node->name != region) {
+    throw AnnotationError("mismatched end: open region is '" + node->name +
+                          "', got '" + region + "'");
+  }
+  const auto now = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - times_.back()).count();
+  node->inclusive_time_sec += elapsed;
+  node->visit_count += 1;
+  stack_.pop_back();
+  times_.pop_back();
+  if (hook_) {
+    hook_(region, /*is_begin=*/false,
+          std::chrono::duration<double>(now - epoch_).count());
+  }
+}
+
+void Channel::attribute_metric(const std::string& name, double value) {
+  if (stack_.size() <= 1) {
+    throw AnnotationError("attribute_metric('" + name +
+                          "') with no open region");
+  }
+  stack_.back()->metrics[name] += value;
+}
+
+void Channel::set_metadata(const std::string& key, const std::string& value) {
+  metadata_[key] = value;
+}
+
+void Channel::set_metadata(const std::string& key, double value) {
+  std::ostringstream os;
+  os << value;
+  metadata_[key] = os.str();
+}
+
+double Channel::total_time_sec() const {
+  double total = 0.0;
+  for (const auto& c : root_->children) total += c->inclusive_time_sec;
+  return total;
+}
+
+void Channel::clear() {
+  if (stack_.size() > 1) {
+    throw AnnotationError("clear() while regions are open");
+  }
+  root_ = std::make_unique<RegionNode>();
+  stack_.clear();
+  times_.clear();
+  stack_.push_back(root_.get());
+  times_.push_back(Clock::now());
+  metadata_.clear();
+}
+
+Channel& default_channel() {
+  static Channel instance;
+  return instance;
+}
+
+}  // namespace rperf::cali

@@ -1,0 +1,98 @@
+#include "instrument/config.hpp"
+
+#include <cctype>
+
+namespace rperf::cali {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+void ConfigManager::add(const std::string& config) {
+  // Split on commas that are not inside parentheses.
+  std::vector<std::string> tokens;
+  std::string current;
+  int depth = 0;
+  for (char c : config) {
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth < 0) throw ConfigError("unbalanced ')' in config");
+    }
+    if (c == ',' && depth == 0) {
+      tokens.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (depth != 0) throw ConfigError("unbalanced '(' in config");
+  tokens.push_back(current);
+
+  for (std::string& raw : tokens) {
+    std::string token = trim(raw);
+    if (token.empty()) continue;
+
+    const std::size_t eq = token.find('=');
+    const std::size_t paren = token.find('(');
+
+    if (paren != std::string::npos && (eq == std::string::npos || paren < eq)) {
+      // spec(name=value, ...)
+      if (token.back() != ')') throw ConfigError("expected ')': " + token);
+      ConfigSpec spec;
+      spec.name = trim(token.substr(0, paren));
+      if (spec.name.empty()) throw ConfigError("empty spec name: " + token);
+      const std::string inner =
+          token.substr(paren + 1, token.size() - paren - 2);
+      std::string opt;
+      for (std::size_t i = 0; i <= inner.size(); ++i) {
+        if (i == inner.size() || inner[i] == ',') {
+          std::string o = trim(opt);
+          opt.clear();
+          if (o.empty()) continue;
+          const std::size_t oeq = o.find('=');
+          if (oeq == std::string::npos) {
+            spec.options[o] = "true";
+          } else {
+            spec.options[trim(o.substr(0, oeq))] = trim(o.substr(oeq + 1));
+          }
+        } else {
+          opt += inner[i];
+        }
+      }
+      specs_.push_back(std::move(spec));
+    } else if (eq != std::string::npos) {
+      // key=value attaches to the most recent spec
+      if (specs_.empty()) {
+        throw ConfigError("option '" + token + "' with no preceding spec");
+      }
+      specs_.back().options[trim(token.substr(0, eq))] =
+          trim(token.substr(eq + 1));
+    } else {
+      specs_.push_back(ConfigSpec{token, {}});
+    }
+  }
+}
+
+bool ConfigManager::has(const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+const ConfigSpec& ConfigManager::get(const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return s;
+  }
+  throw ConfigError("no such config spec: " + name);
+}
+
+}  // namespace rperf::cali

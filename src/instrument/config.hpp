@@ -1,0 +1,51 @@
+// ConfigManager — parse Caliper-style configuration strings.
+//
+// Caliper lets users request measurement services with strings like
+//   "runtime-report,output=run.cali,profile.mpi"
+// We support the same comma-separated spec grammar: each entry is either a
+// bare spec name or key=value option attached to the most recent spec.
+// Parenthesized option groups, e.g. "spot(output=x.cali,metrics=y)", are
+// also accepted.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rperf::cali {
+
+struct ConfigSpec {
+  std::string name;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string option_or(const std::string& key,
+                                      const std::string& dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+};
+
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ConfigManager {
+ public:
+  ConfigManager() = default;
+  /// Parse a config string; throws ConfigError on malformed input.
+  explicit ConfigManager(const std::string& config) { add(config); }
+
+  /// Parse and append specs from a config string.
+  void add(const std::string& config);
+
+  [[nodiscard]] const std::vector<ConfigSpec>& specs() const { return specs_; }
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const ConfigSpec& get(const std::string& name) const;
+
+ private:
+  std::vector<ConfigSpec> specs_;
+};
+
+}  // namespace rperf::cali

@@ -1,0 +1,300 @@
+#include "instrument/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace rperf::json {
+
+const Value& Value::at(const std::string& key) const {
+  const Object& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw JsonError("json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  if (!is_object()) return false;
+  return as_object().count(key) > 0;
+}
+
+double Value::number_or(const std::string& key, double dflt) const {
+  return contains(key) && at(key).is_number() ? at(key).as_number() : dflt;
+}
+
+std::string Value::string_or(const std::string& key,
+                             const std::string& dflt) const {
+  return contains(key) && at(key).is_string() ? at(key).as_string() : dflt;
+}
+
+namespace {
+
+void escape_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void format_number(double d, std::string& out) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+  } else if (std::isfinite(d)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  } else {
+    out += "null";  // JSON has no NaN/Inf
+  }
+}
+
+struct Dumper {
+  int indent;
+  std::string out;
+
+  void newline(int depth) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+
+  void dump(const Value& v, int depth) {
+    if (v.is_null()) {
+      out += "null";
+    } else if (v.is_bool()) {
+      out += v.as_bool() ? "true" : "false";
+    } else if (v.is_number()) {
+      format_number(v.as_number(), out);
+    } else if (v.is_string()) {
+      escape_string(v.as_string(), out);
+    } else if (v.is_array()) {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& e : a) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        dump(e, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+    } else {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : o) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        escape_string(k, out);
+        out += indent < 0 ? ":" : ": ";
+        dump(e, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+    }
+  }
+};
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw JsonError("json parse error: " + msg);
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  char peek() {
+    if (p >= end) fail("unexpected end of input");
+    return *p;
+  }
+
+  void expect(char c) {
+    if (p >= end || *p != c) fail(std::string("expected '") + c + "'");
+    ++p;
+  }
+
+  bool consume_literal(const char* lit) {
+    const char* q = p;
+    while (*lit) {
+      if (q >= end || *q != *lit) return false;
+      ++q;
+      ++lit;
+    }
+    p = q;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string s;
+    while (true) {
+      if (p >= end) fail("unterminated string");
+      char c = *p++;
+      if (c == '"') break;
+      if (c == '\\') {
+        if (p >= end) fail("bad escape");
+        char e = *p++;
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'u': {
+            if (end - p < 4) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = *p++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        s += c;
+      }
+    }
+    return s;
+  }
+
+  double parse_number() {
+    const char* start = p;
+    if (p < end && (*p == '-' || *p == '+')) ++p;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                       *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                       *p == '+')) {
+      ++p;
+    }
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(start, p, value);
+    if (ec != std::errc{} || ptr != p) fail("bad number");
+    return value;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    char c = peek();
+    if (c == '{') {
+      ++p;
+      Object obj;
+      skip_ws();
+      if (peek() == '}') {
+        ++p;
+        return Value(std::move(obj));
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj.emplace(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++p;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+      return Value(std::move(obj));
+    }
+    if (c == '[') {
+      ++p;
+      Array arr;
+      skip_ws();
+      if (peek() == ']') {
+        ++p;
+        return Value(std::move(arr));
+      }
+      while (true) {
+        arr.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++p;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+      return Value(std::move(arr));
+    }
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    if (consume_literal("null")) return Value(nullptr);
+    return Value(parse_number());
+  }
+};
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  Dumper d{indent, {}};
+  d.dump(*this, 0);
+  return d.out;
+}
+
+Value Value::parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  Value v = parser.parse_value();
+  parser.skip_ws();
+  if (parser.p != parser.end) throw JsonError("json: trailing characters");
+  return v;
+}
+
+}  // namespace rperf::json

@@ -1,0 +1,106 @@
+// Minimal JSON value, serializer, and parser.
+//
+// The instrumentation library serializes performance profiles to JSON
+// (playing the role of Caliper's .cali format) and the analysis toolkit
+// reads them back. Supports the full JSON grammar except \u escapes beyond
+// ASCII; numbers are stored as double, with integral values serialized
+// without a decimal point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rperf::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// Thrown on malformed input or type-mismatched access.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(data_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(data_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(data_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return get<bool>("bool"); }
+  [[nodiscard]] double as_number() const { return get<double>("number"); }
+  [[nodiscard]] const std::string& as_string() const {
+    return get<std::string>("string");
+  }
+  [[nodiscard]] const Array& as_array() const { return get<Array>("array"); }
+  [[nodiscard]] const Object& as_object() const {
+    return get<Object>("object");
+  }
+  [[nodiscard]] Array& as_array() { return get<Array>("array"); }
+  [[nodiscard]] Object& as_object() { return get<Object>("object"); }
+
+  /// Object member access; throws JsonError when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Member access with a default when the key is absent.
+  [[nodiscard]] double number_or(const std::string& key, double dflt) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& dflt) const;
+
+  /// Serialize; indent < 0 means compact single-line output.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document (trailing garbage is an error).
+  static Value parse(const std::string& text);
+
+ private:
+  template <typename T>
+  [[nodiscard]] const T& get(const char* what) const {
+    if (const T* p = std::get_if<T>(&data_)) return *p;
+    throw JsonError(std::string("json: value is not a ") + what);
+  }
+  template <typename T>
+  [[nodiscard]] T& get(const char* what) {
+    if (T* p = std::get_if<T>(&data_)) return *p;
+    throw JsonError(std::string("json: value is not a ") + what);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+}  // namespace rperf::json

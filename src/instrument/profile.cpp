@@ -1,0 +1,148 @@
+#include "instrument/profile.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "instrument/json.hpp"
+
+namespace rperf::cali {
+
+namespace {
+
+void visit(const std::string& prefix, const ProfileNode& node,
+           const std::function<void(const std::string&, const ProfileNode&)>&
+               fn) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + "/" + node.name;
+  fn(path, node);
+  for (const ProfileNode& c : node.children) visit(path, c, fn);
+}
+
+ProfileNode convert(const RegionNode& node) {
+  ProfileNode out;
+  out.name = node.name;
+  out.time_sec = node.inclusive_time_sec;
+  out.visit_count = node.visit_count;
+  out.metrics = node.metrics;
+  out.children.reserve(node.children.size());
+  for (const auto& c : node.children) out.children.push_back(convert(*c));
+  return out;
+}
+
+json::Value node_to_json(const ProfileNode& node) {
+  json::Object obj;
+  obj.emplace("name", node.name);
+  obj.emplace("time", node.time_sec);
+  obj.emplace("count", static_cast<double>(node.visit_count));
+  if (!node.metrics.empty()) {
+    json::Object metrics;
+    for (const auto& [k, v] : node.metrics) metrics.emplace(k, v);
+    obj.emplace("metrics", std::move(metrics));
+  }
+  if (!node.children.empty()) {
+    json::Array children;
+    for (const ProfileNode& c : node.children) {
+      children.push_back(node_to_json(c));
+    }
+    obj.emplace("children", std::move(children));
+  }
+  return json::Value(std::move(obj));
+}
+
+ProfileNode node_from_json(const json::Value& v) {
+  ProfileNode node;
+  node.name = v.at("name").as_string();
+  node.time_sec = v.number_or("time", 0.0);
+  node.visit_count = static_cast<std::uint64_t>(v.number_or("count", 0.0));
+  if (v.contains("metrics")) {
+    for (const auto& [k, m] : v.at("metrics").as_object()) {
+      node.metrics[k] = m.as_number();
+    }
+  }
+  if (v.contains("children")) {
+    for (const json::Value& c : v.at("children").as_array()) {
+      node.children.push_back(node_from_json(c));
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+void Profile::for_each(
+    const std::function<void(const std::string&, const ProfileNode&)>& fn)
+    const {
+  for (const ProfileNode& r : roots) visit("", r, fn);
+}
+
+const ProfileNode* Profile::find(const std::string& path) const {
+  const ProfileNode* result = nullptr;
+  for_each([&](const std::string& p, const ProfileNode& n) {
+    if (p == path) result = &n;
+  });
+  return result;
+}
+
+std::size_t Profile::node_count() const {
+  std::size_t count = 0;
+  for_each([&](const std::string&, const ProfileNode&) { ++count; });
+  return count;
+}
+
+Profile to_profile(const Channel& channel) {
+  Profile profile;
+  profile.metadata = channel.metadata();
+  for (const auto& c : channel.root().children) {
+    profile.roots.push_back(convert(*c));
+  }
+  return profile;
+}
+
+std::string profile_to_json(const Profile& profile) {
+  json::Object top;
+  json::Object meta;
+  for (const auto& [k, v] : profile.metadata) meta.emplace(k, v);
+  top.emplace("metadata", std::move(meta));
+  json::Array roots;
+  for (const ProfileNode& r : profile.roots) roots.push_back(node_to_json(r));
+  top.emplace("regions", std::move(roots));
+  top.emplace("format", "rperf-cali-1");
+  return json::Value(std::move(top)).dump(2);
+}
+
+Profile profile_from_json(const std::string& text) {
+  const json::Value v = json::Value::parse(text);
+  Profile profile;
+  if (v.contains("metadata")) {
+    for (const auto& [k, m] : v.at("metadata").as_object()) {
+      profile.metadata[k] = m.as_string();
+    }
+  }
+  if (v.contains("regions")) {
+    for (const json::Value& r : v.at("regions").as_array()) {
+      profile.roots.push_back(node_from_json(r));
+    }
+  }
+  return profile;
+}
+
+void write_profile(const Profile& profile, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << profile_to_json(profile) << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_profile(const Channel& channel, const std::string& path) {
+  write_profile(to_profile(channel), path);
+}
+
+Profile read_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return profile_from_json(buffer.str());
+}
+
+}  // namespace rperf::cali

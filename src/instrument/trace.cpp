@@ -1,0 +1,97 @@
+#include "instrument/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "instrument/json.hpp"
+
+namespace rperf::cali {
+
+void EventTrace::attach(Channel& channel) {
+  channel.set_event_hook(
+      [this](const std::string& region, bool is_begin, double t) {
+        events_.push_back(TraceEvent{is_begin ? TraceEvent::Kind::Begin
+                                              : TraceEvent::Kind::End,
+                                     region, t});
+      });
+}
+
+void EventTrace::detach(Channel& channel) {
+  channel.set_event_hook(nullptr);
+}
+
+std::vector<TraceInterval> EventTrace::intervals() const {
+  std::vector<TraceInterval> out;
+  struct Open {
+    std::string region;
+    double begin = 0.0;
+  };
+  std::vector<Open> stack;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == TraceEvent::Kind::Begin) {
+      stack.push_back(Open{e.region, e.timestamp_sec});
+    } else {
+      if (stack.empty() || stack.back().region != e.region) {
+        throw AnnotationError("trace: unbalanced end for '" + e.region +
+                              "'");
+      }
+      TraceInterval iv;
+      iv.region = e.region;
+      iv.begin_sec = stack.back().begin;
+      iv.end_sec = e.timestamp_sec;
+      iv.depth = static_cast<int>(stack.size()) - 1;
+      stack.pop_back();
+      out.push_back(std::move(iv));
+    }
+  }
+  if (!stack.empty()) {
+    throw AnnotationError("trace: region '" + stack.back().region +
+                          "' never ended");
+  }
+  return out;
+}
+
+std::string EventTrace::to_json() const {
+  json::Array arr;
+  for (const TraceEvent& e : events_) {
+    json::Object obj;
+    obj.emplace("kind", e.kind == TraceEvent::Kind::Begin ? "B" : "E");
+    obj.emplace("region", e.region);
+    obj.emplace("t", e.timestamp_sec);
+    arr.push_back(json::Value(std::move(obj)));
+  }
+  json::Object top;
+  top.emplace("format", "rperf-trace-1");
+  top.emplace("events", std::move(arr));
+  return json::Value(std::move(top)).dump(2);
+}
+
+EventTrace EventTrace::from_json(const std::string& text) {
+  const json::Value v = json::Value::parse(text);
+  EventTrace trace;
+  for (const json::Value& e : v.at("events").as_array()) {
+    TraceEvent event;
+    event.kind = e.at("kind").as_string() == "B" ? TraceEvent::Kind::Begin
+                                                 : TraceEvent::Kind::End;
+    event.region = e.at("region").as_string();
+    event.timestamp_sec = e.at("t").as_number();
+    trace.events_.push_back(std::move(event));
+  }
+  return trace;
+}
+
+void EventTrace::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << to_json() << '\n';
+}
+
+EventTrace EventTrace::read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+}  // namespace rperf::cali

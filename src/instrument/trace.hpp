@@ -1,0 +1,65 @@
+// Event tracing — the Caliper event-trace service substitute.
+//
+// While the aggregating Channel folds repeated region visits into one node,
+// an EventTrace records every individual begin/end with a timestamp,
+// preserving execution order for timeline analysis. Attach to a channel,
+// run, then query intervals or serialize to JSON.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "instrument/channel.hpp"
+
+namespace rperf::cali {
+
+struct TraceEvent {
+  enum class Kind { Begin, End };
+  Kind kind = Kind::Begin;
+  std::string region;
+  double timestamp_sec = 0.0;  ///< relative to trace start
+};
+
+/// A completed region interval reconstructed from begin/end pairs.
+struct TraceInterval {
+  std::string region;
+  double begin_sec = 0.0;
+  double end_sec = 0.0;
+  int depth = 0;  ///< nesting depth at entry (0 = top level)
+
+  [[nodiscard]] double duration_sec() const { return end_sec - begin_sec; }
+};
+
+class EventTrace {
+ public:
+  EventTrace() = default;
+
+  /// Start recording events from the channel. Only one trace may be
+  /// attached to a channel at a time; attaching replaces the previous
+  /// hook. The trace must outlive the channel's instrumented run.
+  void attach(Channel& channel);
+  /// Stop recording (removes the hook).
+  void detach(Channel& channel);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Pair begin/end events into intervals, in completion order.
+  /// Throws AnnotationError if the event stream is not properly nested.
+  [[nodiscard]] std::vector<TraceInterval> intervals() const;
+
+  /// JSON (de)serialization.
+  [[nodiscard]] std::string to_json() const;
+  static EventTrace from_json(const std::string& text);
+  void write(const std::string& path) const;
+  static EventTrace read(const std::string& path);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rperf::cali

@@ -1,0 +1,538 @@
+// Finite-element partial-assembly kernels (simplified MFEM extractions):
+//
+// MASS3DPA:       mass operator, sum-factorized: interpolate dofs to
+//                 quadrature points, scale by quadrature data, project back.
+// DIFFUSION3DPA:  diffusion operator: same structure with gradient
+//                 contractions in three directions (~3x the work).
+// CONVECTION3DPA: convection operator: velocity-weighted gradient.
+// MASS3DEA:       element assembly — dense per-element mass matrix from
+//                 quadrature (O(dofs^2 x qpts) per element).
+// EDGE3D:         Nedelec edge-element stiffness: per-element 12x12 matrix
+//                 from 8-point quadrature — the suite's most FLOP-dense
+//                 kernel (84 TFLOPS on MI250X in Fig 10d).
+//
+// All five parallelize over elements; per-element bodies are large,
+// register-hungry, and instruction-footprint heavy, which is what drives
+// their frontend-bound TMA signature on CPUs (the paper's cluster 1).
+#include <cmath>
+
+#include "kernels/apps/apps.hpp"
+
+namespace rperf::kernels::apps {
+
+namespace {
+
+constexpr Index_type kD1D = 4;  // dofs per dimension (order-3 elements)
+constexpr Index_type kQ1D = 5;  // quadrature points per dimension
+constexpr Index_type kDofs = kD1D * kD1D * kD1D;   // 64
+constexpr Index_type kQpts = kQ1D * kQ1D * kQ1D;   // 125
+
+/// Tabulated 1-D basis values B(q, d) — deterministic pseudo-basis with
+/// partition-of-unity-like rows.
+void fill_basis(double* B) {
+  for (Index_type q = 0; q < kQ1D; ++q) {
+    double row = 0.0;
+    for (Index_type d = 0; d < kD1D; ++d) {
+      const double v =
+          1.0 + std::cos(0.7 * static_cast<double>(q + 1) *
+                         static_cast<double>(d + 2));
+      B[q * kD1D + d] = v;
+      row += v;
+    }
+    for (Index_type d = 0; d < kD1D; ++d) B[q * kD1D + d] /= row;
+  }
+}
+
+/// Gradient table G(q, d).
+void fill_gradient(double* G) {
+  for (Index_type q = 0; q < kQ1D; ++q) {
+    for (Index_type d = 0; d < kD1D; ++d) {
+      G[q * kD1D + d] = 0.3 * std::sin(0.9 * static_cast<double>(q + 1) *
+                                       static_cast<double>(d + 1));
+    }
+  }
+}
+
+/// Interpolate element dofs X(d1,d2,d3) to quadrature values Q(q1,q2,q3)
+/// with tensor contractions along each dimension using table T(q,d).
+void tensor_interp(const double* T, const double* X, double* Q) {
+  double t1[kQ1D][kD1D][kD1D];
+  for (Index_type q = 0; q < kQ1D; ++q) {
+    for (Index_type d2 = 0; d2 < kD1D; ++d2) {
+      for (Index_type d3 = 0; d3 < kD1D; ++d3) {
+        double sum = 0.0;
+        for (Index_type d1 = 0; d1 < kD1D; ++d1) {
+          sum += T[q * kD1D + d1] * X[(d1 * kD1D + d2) * kD1D + d3];
+        }
+        t1[q][d2][d3] = sum;
+      }
+    }
+  }
+  double t2[kQ1D][kQ1D][kD1D];
+  for (Index_type q1 = 0; q1 < kQ1D; ++q1) {
+    for (Index_type q2 = 0; q2 < kQ1D; ++q2) {
+      for (Index_type d3 = 0; d3 < kD1D; ++d3) {
+        double sum = 0.0;
+        for (Index_type d2 = 0; d2 < kD1D; ++d2) {
+          sum += T[q2 * kD1D + d2] * t1[q1][d2][d3];
+        }
+        t2[q1][q2][d3] = sum;
+      }
+    }
+  }
+  for (Index_type q1 = 0; q1 < kQ1D; ++q1) {
+    for (Index_type q2 = 0; q2 < kQ1D; ++q2) {
+      for (Index_type q3 = 0; q3 < kQ1D; ++q3) {
+        double sum = 0.0;
+        for (Index_type d3 = 0; d3 < kD1D; ++d3) {
+          sum += T[q3 * kD1D + d3] * t2[q1][q2][d3];
+        }
+        Q[(q1 * kQ1D + q2) * kQ1D + q3] = sum;
+      }
+    }
+  }
+}
+
+/// Transpose projection: quadrature values back to dofs, Y += B^T Q.
+void tensor_project(const double* T, const double* Q, double* Y) {
+  double t1[kD1D][kQ1D][kQ1D];
+  for (Index_type d = 0; d < kD1D; ++d) {
+    for (Index_type q2 = 0; q2 < kQ1D; ++q2) {
+      for (Index_type q3 = 0; q3 < kQ1D; ++q3) {
+        double sum = 0.0;
+        for (Index_type q1 = 0; q1 < kQ1D; ++q1) {
+          sum += T[q1 * kD1D + d] * Q[(q1 * kQ1D + q2) * kQ1D + q3];
+        }
+        t1[d][q2][q3] = sum;
+      }
+    }
+  }
+  double t2[kD1D][kD1D][kQ1D];
+  for (Index_type d1 = 0; d1 < kD1D; ++d1) {
+    for (Index_type d2 = 0; d2 < kD1D; ++d2) {
+      for (Index_type q3 = 0; q3 < kQ1D; ++q3) {
+        double sum = 0.0;
+        for (Index_type q2 = 0; q2 < kQ1D; ++q2) {
+          sum += T[q2 * kD1D + d2] * t1[d1][q2][q3];
+        }
+        t2[d1][d2][q3] = sum;
+      }
+    }
+  }
+  for (Index_type d1 = 0; d1 < kD1D; ++d1) {
+    for (Index_type d2 = 0; d2 < kD1D; ++d2) {
+      for (Index_type d3 = 0; d3 < kD1D; ++d3) {
+        double sum = 0.0;
+        for (Index_type q3 = 0; q3 < kQ1D; ++q3) {
+          sum += T[q3 * kD1D + d3] * t2[d1][d2][q3];
+        }
+        Y[(d1 * kD1D + d2) * kD1D + d3] += sum;
+      }
+    }
+  }
+}
+
+/// Flops for one interpolate or project sweep.
+constexpr double kSweepFlops =
+    2.0 * (kQ1D * kD1D * kD1D * kD1D + kQ1D * kQ1D * kD1D * kD1D +
+           kQ1D * kQ1D * kQ1D * kD1D);
+
+void pa_traits(rperf::machine::KernelTraits& t, double ne, double sweeps,
+               double fp_cpu, double fp_gpu, double complexity) {
+  t.bytes_read = 8.0 * (kDofs + kQpts) * ne;
+  t.bytes_written = 8.0 * kDofs * ne;
+  t.flops = (sweeps * kSweepFlops + kQpts) * ne;
+  t.working_set_bytes = 8.0 * (2.0 * kDofs + kQpts) * ne;
+  t.branches = 10.0 * kQpts * ne;
+  t.int_ops = 3.0 * sweeps * kSweepFlops / 2.0 * ne / 4.0;
+  t.avg_parallelism = ne * kQ1D * kQ1D;  // element x quadrature plane
+  t.vector_fraction = 0.1;  // register-tiled contractions defeat the
+                            // auto-vectorizer
+  t.fp_eff_cpu = fp_cpu;
+  t.fp_eff_gpu = fp_gpu;
+  t.l1_hit = 0.9;
+  t.l2_hit = 0.7;
+  t.code_complexity = complexity;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- MASS3DPA
+
+MASS3DPA::MASS3DPA(const RunParams& params)
+    : KernelBase("MASS3DPA", GroupID::Apps, params) {
+  set_default_size(320000);
+  set_default_reps(3);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Kernel);
+  add_feature(FeatureID::View);
+  add_all_variants();
+  m_ne = std::max<Index_type>(1, actual_prob_size() / kDofs);
+  pa_traits(traits_rw(), static_cast<double>(m_ne), 2.0, 0.50, 0.30, 2.5);
+}
+
+void MASS3DPA::setUp(VariantID) {
+  suite::init_data(m_a, m_ne * kDofs, 2001u);        // X
+  suite::init_data(m_b, m_ne * kQpts, 2003u);        // qdata
+  suite::init_data_const(m_c, m_ne * kDofs, 0.0);    // Y
+}
+
+void MASS3DPA::runVariant(VariantID vid) {
+  const Index_type ne = m_ne;
+  const double* X = m_a.data();
+  const double* qd = m_b.data();
+  double* Y = m_c.data();
+  double B[kQ1D * kD1D];
+  fill_basis(B);
+  const double* Bp = B;
+
+  run_forall(vid, 0, ne, run_reps(), [=](Index_type e) {
+    double Q[kQpts];
+    tensor_interp(Bp, X + e * kDofs, Q);
+    for (Index_type q = 0; q < kQpts; ++q) {
+      Q[q] *= qd[e * kQpts + q];
+    }
+    for (Index_type d = 0; d < kDofs; ++d) Y[e * kDofs + d] = 0.0;
+    tensor_project(Bp, Q, Y + e * kDofs);
+  });
+}
+
+long double MASS3DPA::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c);
+}
+
+void MASS3DPA::tearDown(VariantID) { free_data(m_a, m_b, m_c); }
+
+// ---------------------------------------------------------- DIFFUSION3DPA
+
+DIFFUSION3DPA::DIFFUSION3DPA(const RunParams& params)
+    : KernelBase("DIFFUSION3DPA", GroupID::Apps, params) {
+  set_default_size(160000);
+  set_default_reps(3);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Kernel);
+  add_feature(FeatureID::View);
+  add_all_variants();
+  m_ne = std::max<Index_type>(1, actual_prob_size() / kDofs);
+  pa_traits(traits_rw(), static_cast<double>(m_ne), 6.0, 0.55, 1.13, 3.0);
+}
+
+void DIFFUSION3DPA::setUp(VariantID) {
+  suite::init_data(m_a, m_ne * kDofs, 2011u);
+  suite::init_data(m_b, m_ne * kQpts, 2017u);
+  suite::init_data_const(m_c, m_ne * kDofs, 0.0);
+}
+
+void DIFFUSION3DPA::runVariant(VariantID vid) {
+  const Index_type ne = m_ne;
+  const double* X = m_a.data();
+  const double* qd = m_b.data();
+  double* Y = m_c.data();
+  double B[kQ1D * kD1D], G[kQ1D * kD1D];
+  fill_basis(B);
+  fill_gradient(G);
+  const double* Bp = B;
+  const double* Gp = G;
+
+  run_forall(vid, 0, ne, run_reps(), [=](Index_type e) {
+    // Three gradient components: G in one dimension, B in the others —
+    // approximated by alternating interp tables per component.
+    double Qx[kQpts], Qy[kQpts], Qz[kQpts];
+    tensor_interp(Gp, X + e * kDofs, Qx);
+    tensor_interp(Bp, X + e * kDofs, Qy);
+    tensor_interp(Bp, X + e * kDofs, Qz);
+    for (Index_type q = 0; q < kQpts; ++q) {
+      const double w = qd[e * kQpts + q];
+      Qx[q] *= w;
+      Qy[q] *= 0.5 * w;
+      Qz[q] *= 0.25 * w;
+    }
+    for (Index_type d = 0; d < kDofs; ++d) Y[e * kDofs + d] = 0.0;
+    tensor_project(Gp, Qx, Y + e * kDofs);
+    tensor_project(Bp, Qy, Y + e * kDofs);
+    tensor_project(Bp, Qz, Y + e * kDofs);
+  });
+}
+
+long double DIFFUSION3DPA::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c);
+}
+
+void DIFFUSION3DPA::tearDown(VariantID) { free_data(m_a, m_b, m_c); }
+
+// --------------------------------------------------------- CONVECTION3DPA
+
+CONVECTION3DPA::CONVECTION3DPA(const RunParams& params)
+    : KernelBase("CONVECTION3DPA", GroupID::Apps, params) {
+  set_default_size(160000);
+  set_default_reps(3);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Kernel);
+  add_feature(FeatureID::View);
+  add_all_variants();
+  m_ne = std::max<Index_type>(1, actual_prob_size() / kDofs);
+  pa_traits(traits_rw(), static_cast<double>(m_ne), 4.0, 0.50, 0.25, 3.0);
+}
+
+void CONVECTION3DPA::setUp(VariantID) {
+  suite::init_data(m_a, m_ne * kDofs, 2027u);        // X
+  suite::init_data(m_b, 3 * m_ne * kQpts, 2029u);    // velocity qdata
+  suite::init_data_const(m_c, m_ne * kDofs, 0.0);    // Y
+}
+
+void CONVECTION3DPA::runVariant(VariantID vid) {
+  const Index_type ne = m_ne;
+  const double* X = m_a.data();
+  const double* vel = m_b.data();
+  double* Y = m_c.data();
+  double B[kQ1D * kD1D], G[kQ1D * kD1D];
+  fill_basis(B);
+  fill_gradient(G);
+  const double* Bp = B;
+  const double* Gp = G;
+
+  run_forall(vid, 0, ne, run_reps(), [=](Index_type e) {
+    double Qg[kQpts], Q[kQpts];
+    tensor_interp(Gp, X + e * kDofs, Qg);  // directional derivative
+    const double* vx = vel + 3 * e * kQpts;
+    const double* vy = vx + kQpts;
+    const double* vz = vy + kQpts;
+    for (Index_type q = 0; q < kQpts; ++q) {
+      Q[q] = (vx[q] + 0.5 * vy[q] + 0.25 * vz[q]) * Qg[q];
+    }
+    for (Index_type d = 0; d < kDofs; ++d) Y[e * kDofs + d] = 0.0;
+    tensor_project(Bp, Q, Y + e * kDofs);
+  });
+}
+
+long double CONVECTION3DPA::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c);
+}
+
+void CONVECTION3DPA::tearDown(VariantID) { free_data(m_a, m_b, m_c); }
+
+// --------------------------------------------------------------- MASS3DEA
+
+MASS3DEA::MASS3DEA(const RunParams& params)
+    : KernelBase("MASS3DEA", GroupID::Apps, params) {
+  set_default_size(24000);
+  set_default_reps(1);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Kernel);
+  add_feature(FeatureID::View);
+  add_all_variants();
+  m_ne = std::max<Index_type>(1, actual_prob_size() / kDofs);
+
+  const double ne = static_cast<double>(m_ne);
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * kQpts * ne;
+  t.bytes_written = 8.0 * kDofs * kDofs * ne;
+  t.flops = 3.0 * kDofs * (kDofs + 1) / 2.0 * kQpts * ne;
+  t.working_set_bytes = 8.0 * (kQpts + kDofs * kDofs) * ne;
+  t.branches = kDofs * kQpts * ne;
+  t.avg_parallelism = ne * kDofs;
+  t.vector_fraction = 0.4;  // inner quadrature loop vectorizes partially
+  t.fp_eff_cpu = 0.60;
+  t.fp_eff_gpu = 1.0;
+  t.l1_hit = 0.95;
+  t.l2_hit = 0.85;
+  t.code_complexity = 2.0;
+}
+
+void MASS3DEA::setUp(VariantID) {
+  suite::init_data(m_b, m_ne * kQpts, 2039u);               // qdata
+  suite::init_data_const(m_c, m_ne * kDofs * kDofs, 0.0);   // M_e
+}
+
+void MASS3DEA::runVariant(VariantID vid) {
+  const Index_type ne = m_ne;
+  const double* qd = m_b.data();
+  double* M = m_c.data();
+  double B[kQ1D * kD1D];
+  fill_basis(B);
+  // Precompute the full 3-D basis value of each dof at each qpt.
+  // (Shared across elements — computed once per variant invocation.)
+  static thread_local std::vector<double> phi;
+  phi.assign(static_cast<std::size_t>(kDofs * kQpts), 0.0);
+  for (Index_type d1 = 0; d1 < kD1D; ++d1) {
+    for (Index_type d2 = 0; d2 < kD1D; ++d2) {
+      for (Index_type d3 = 0; d3 < kD1D; ++d3) {
+        const Index_type dof = (d1 * kD1D + d2) * kD1D + d3;
+        for (Index_type q1 = 0; q1 < kQ1D; ++q1) {
+          for (Index_type q2 = 0; q2 < kQ1D; ++q2) {
+            for (Index_type q3 = 0; q3 < kQ1D; ++q3) {
+              const Index_type q = (q1 * kQ1D + q2) * kQ1D + q3;
+              phi[static_cast<std::size_t>(dof * kQpts + q)] =
+                  B[q1 * kD1D + d1] * B[q2 * kD1D + d2] * B[q3 * kD1D + d3];
+            }
+          }
+        }
+      }
+    }
+  }
+  const double* phip = phi.data();
+
+  run_forall(vid, 0, ne, run_reps(), [=](Index_type e) {
+    double* Me = M + e * kDofs * kDofs;
+    const double* w = qd + e * kQpts;
+    for (Index_type i = 0; i < kDofs; ++i) {
+      for (Index_type j = i; j < kDofs; ++j) {
+        double sum = 0.0;
+        for (Index_type q = 0; q < kQpts; ++q) {
+          sum += phip[i * kQpts + q] * phip[j * kQpts + q] * w[q];
+        }
+        Me[i * kDofs + j] = sum;
+        Me[j * kDofs + i] = sum;
+      }
+    }
+  });
+}
+
+long double MASS3DEA::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c);
+}
+
+void MASS3DEA::tearDown(VariantID) { free_data(m_b, m_c); }
+
+// ----------------------------------------------------------------- EDGE3D
+
+namespace {
+constexpr Index_type kEdges = 12;
+constexpr Index_type kGeomQpts = 8;  // 2-point rule per dimension
+}  // namespace
+
+EDGE3D::EDGE3D(const RunParams& params)
+    : KernelBase("EDGE3D", GroupID::Apps, params) {
+  set_default_size(120000);
+  set_default_reps(3);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Kernel);
+  add_all_variants();
+  m_ne = std::max<Index_type>(1, actual_prob_size() / kEdges);
+
+  const double ne = static_cast<double>(m_ne);
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 24.0 * ne;                   // corner coordinates
+  t.bytes_written = 8.0 * kEdges * kEdges * ne;     // element matrix
+  // Per qpt: Jacobian (~50), basis eval (12 x ~12), pairwise dot
+  // (78 pairs x 8) -> ~ 850 flops; x8 qpts.
+  t.flops = 6800.0 * ne;
+  t.working_set_bytes = 8.0 * (24.0 + 144.0) * ne;
+  t.branches = 8.0 * kEdges * ne;
+  t.avg_parallelism = ne;
+  t.vector_fraction = 0.2;
+  t.fp_eff_cpu = 0.85;   // dense FMA chains
+  t.fp_eff_gpu = 6.3;    // 84.1 TFLOPS on MI250X (Fig 10d) vs 13.3 dense
+  t.l1_hit = 0.95;
+  t.l2_hit = 0.9;
+  t.code_complexity = 2.5;
+}
+
+void EDGE3D::setUp(VariantID) {
+  suite::init_data(m_a, m_ne * 24, 2053u);  // 8 corners x 3 coords
+  suite::init_data_const(m_c, m_ne * kEdges * kEdges, 0.0);
+}
+
+void EDGE3D::runVariant(VariantID vid) {
+  const Index_type ne = m_ne;
+  const double* coords = m_a.data();
+  double* M = m_c.data();
+
+  run_forall(vid, 0, ne, run_reps(), [=](Index_type e) {
+    const double* c = coords + e * 24;  // c[corner*3 + dim]
+    double* Me = M + e * kEdges * kEdges;
+    for (Index_type i = 0; i < kEdges * kEdges; ++i) Me[i] = 0.0;
+
+    // 2-point Gauss rule in each dimension.
+    const double gp[2] = {0.2113248654051871, 0.7886751345948129};
+    for (Index_type q = 0; q < kGeomQpts; ++q) {
+      const double xi = gp[q & 1], eta = gp[(q >> 1) & 1],
+                   zeta = gp[(q >> 2) & 1];
+      // Trilinear geometry Jacobian at (xi, eta, zeta).
+      double J[3][3] = {};
+      for (Index_type corner = 0; corner < 8; ++corner) {
+        const double sx = (corner & 1) ? 1.0 : -1.0;
+        const double sy = (corner & 2) ? 1.0 : -1.0;
+        const double sz = (corner & 4) ? 1.0 : -1.0;
+        const double fx = (corner & 1) ? xi : (1.0 - xi);
+        const double fy = (corner & 2) ? eta : (1.0 - eta);
+        const double fz = (corner & 4) ? zeta : (1.0 - zeta);
+        for (Index_type dim = 0; dim < 3; ++dim) {
+          const double coord = c[corner * 3 + dim];
+          J[0][dim] += sx * fy * fz * coord;
+          J[1][dim] += fx * sy * fz * coord;
+          J[2][dim] += fx * fy * sz * coord;
+        }
+      }
+      const double detJ =
+          J[0][0] * (J[1][1] * J[2][2] - J[1][2] * J[2][1]) -
+          J[0][1] * (J[1][0] * J[2][2] - J[1][2] * J[2][0]) +
+          J[0][2] * (J[1][0] * J[2][1] - J[1][1] * J[2][0]);
+      const double w = 0.125 * (std::fabs(detJ) + 1.0e-12);
+
+      // The 12 lowest-order Nedelec edge basis vectors at this qpt.
+      double E[kEdges][3];
+      const double u = xi, v = eta, t = zeta;
+      const double bu[4] = {(1 - v) * (1 - t), v * (1 - t), (1 - v) * t,
+                            v * t};
+      const double bv[4] = {(1 - u) * (1 - t), u * (1 - t), (1 - u) * t,
+                            u * t};
+      const double bt[4] = {(1 - u) * (1 - v), u * (1 - v), (1 - u) * v,
+                            u * v};
+      for (Index_type k = 0; k < 4; ++k) {
+        E[k][0] = bu[k];
+        E[k][1] = 0.0;
+        E[k][2] = 0.0;
+        E[4 + k][0] = 0.0;
+        E[4 + k][1] = bv[k];
+        E[4 + k][2] = 0.0;
+        E[8 + k][0] = 0.0;
+        E[8 + k][1] = 0.0;
+        E[8 + k][2] = bt[k];
+      }
+      // Push each basis vector through J^-T approximated by adj(J)/detJ
+      // (one adjugate-vector product per edge function).
+      const double inv = 1.0 / (detJ + (detJ >= 0 ? 1e-12 : -1e-12));
+      double adj[3][3];
+      adj[0][0] = (J[1][1] * J[2][2] - J[1][2] * J[2][1]) * inv;
+      adj[0][1] = (J[0][2] * J[2][1] - J[0][1] * J[2][2]) * inv;
+      adj[0][2] = (J[0][1] * J[1][2] - J[0][2] * J[1][1]) * inv;
+      adj[1][0] = (J[1][2] * J[2][0] - J[1][0] * J[2][2]) * inv;
+      adj[1][1] = (J[0][0] * J[2][2] - J[0][2] * J[2][0]) * inv;
+      adj[1][2] = (J[0][2] * J[1][0] - J[0][0] * J[1][2]) * inv;
+      adj[2][0] = (J[1][0] * J[2][1] - J[1][1] * J[2][0]) * inv;
+      adj[2][1] = (J[0][1] * J[2][0] - J[0][0] * J[2][1]) * inv;
+      adj[2][2] = (J[0][0] * J[1][1] - J[0][1] * J[1][0]) * inv;
+      double Ephys[kEdges][3];
+      for (Index_type i = 0; i < kEdges; ++i) {
+        for (Index_type dim = 0; dim < 3; ++dim) {
+          Ephys[i][dim] = adj[dim][0] * E[i][0] + adj[dim][1] * E[i][1] +
+                          adj[dim][2] * E[i][2];
+        }
+      }
+      // Accumulate the symmetric element matrix.
+      for (Index_type i = 0; i < kEdges; ++i) {
+        for (Index_type j = i; j < kEdges; ++j) {
+          const double dot = Ephys[i][0] * Ephys[j][0] +
+                             Ephys[i][1] * Ephys[j][1] +
+                             Ephys[i][2] * Ephys[j][2];
+          Me[i * kEdges + j] += w * dot;
+        }
+      }
+    }
+    // Mirror to the lower triangle.
+    for (Index_type i = 0; i < kEdges; ++i) {
+      for (Index_type j = 0; j < i; ++j) {
+        Me[i * kEdges + j] = Me[j * kEdges + i];
+      }
+    }
+  });
+}
+
+long double EDGE3D::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c);
+}
+
+void EDGE3D::tearDown(VariantID) { free_data(m_a, m_c); }
+
+}  // namespace rperf::kernels::apps

@@ -1,0 +1,63 @@
+// FIR: 16-tap finite impulse response filter —
+//   out[i] = sum_j coeff[j] * in[i + j]
+// Moderate FLOP density with high input reuse (one of the paper's 17
+// FLOP-heavy kernels).
+#include "kernels/apps/apps.hpp"
+
+namespace rperf::kernels::apps {
+
+namespace {
+constexpr Index_type kTaps = 16;
+}
+
+FIR::FIR(const RunParams& params) : KernelBase("FIR", GroupID::Apps, params) {
+  set_default_size(800000);
+  set_default_reps(10);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * n;  // sliding window reuses cached input
+  t.bytes_written = 8.0 * n;
+  t.flops = 2.0 * kTaps * n;
+  t.working_set_bytes = 16.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.45;
+  t.fp_eff_gpu = 0.55;
+  t.l1_hit = 0.9;  // window reuse
+}
+
+void FIR::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, n + kTaps, 1601u);  // in
+  suite::init_data_const(m_b, n, 0.0);      // out
+  suite::init_data_ramp(m_c, kTaps, -0.5, 0.5);  // coeff
+}
+
+void FIR::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* in = m_a.data();
+  double* out = m_b.data();
+  double coeff[kTaps];
+  for (Index_type j = 0; j < kTaps; ++j) {
+    coeff[j] = m_c[static_cast<std::size_t>(j)];
+  }
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    double sum = 0.0;
+    for (Index_type j = 0; j < kTaps; ++j) {
+      sum += coeff[j] * in[i + j];
+    }
+    out[i] = sum;
+  });
+}
+
+long double FIR::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_b);
+}
+
+void FIR::tearDown(VariantID) { free_data(m_a, m_b, m_c); }
+
+}  // namespace rperf::kernels::apps

@@ -1,0 +1,150 @@
+// ENERGY and PRESSURE: equation-of-state update fragments from the LULESH
+// shock-hydro proxy. Multiple elementwise passes with data-dependent
+// branches over ~10 arrays.
+#include <cmath>
+
+#include "kernels/apps/apps.hpp"
+
+namespace rperf::kernels::apps {
+
+ENERGY::ENERGY(const RunParams& params)
+    : KernelBase("ENERGY", GroupID::Apps, params) {
+  set_default_size(400000);
+  set_default_reps(10);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 11.0 * n;  // three passes over hydro state
+  t.bytes_written = 8.0 * 3.0 * n;
+  t.flops = 22.0 * n;
+  t.working_set_bytes = 8.0 * 10.0 * n;
+  t.branches = 4.0 * n;
+  t.mispredict_rate = 0.08;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.20;
+  t.fp_eff_gpu = 0.30;
+  t.code_complexity = 1.5;
+}
+
+void ENERGY::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, 4 * n, 1501u);  // e_old, delvc, p_old, q_old
+  suite::init_data(m_b, 4 * n, 1511u);  // compHalfStep, pHalfStep, ql, qq
+  suite::init_data_const(m_c, n, 0.0);  // e_new
+  suite::init_data_const(m_d, n, 0.0);  // q_new
+  suite::init_data_const(m_e, n, 0.0);  // work
+}
+
+void ENERGY::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* e_old = m_a.data();
+  const double* delvc = m_a.data() + n;
+  const double* p_old = m_a.data() + 2 * n;
+  const double* q_old = m_a.data() + 3 * n;
+  const double* comp_half = m_b.data();
+  const double* p_half = m_b.data() + n;
+  const double* ql_old = m_b.data() + 2 * n;
+  const double* qq_old = m_b.data() + 3 * n;
+  double* e_new = m_c.data();
+  double* q_new = m_d.data();
+  double* work = m_e.data();
+  const double rho0 = 1.0e-9, e_cut = 1.0e-7, emin = -1.0e15;
+
+  const Index_type reps = run_reps();
+  for (Index_type r = 0; r < reps; ++r) {
+    // Pass 1: provisional energy update.
+    run_forall(vid, 0, n, 1, [=](Index_type i) {
+      e_new[i] = e_old[i] - 0.5 * delvc[i] * (p_old[i] + q_old[i]) +
+                 0.5 * work[i];
+      if (e_new[i] < emin) e_new[i] = emin;
+    });
+    // Pass 2: half-step artificial viscosity.
+    run_forall(vid, 0, n, 1, [=](Index_type i) {
+      const double vhalf = 1.0 / (1.0 + comp_half[i]);
+      double ssc = (vhalf * vhalf * e_new[i] + p_half[i]) / rho0;
+      ssc = ssc <= 0.111111e-36 ? 0.333333e-18 : std::sqrt(ssc);
+      q_new[i] = delvc[i] > 0.0
+                     ? 0.0
+                     : ssc * ql_old[i] + qq_old[i];
+    });
+    // Pass 3: corrected energy.
+    run_forall(vid, 0, n, 1, [=](Index_type i) {
+      e_new[i] += 0.5 * delvc[i] *
+                  (3.0 * (p_old[i] + q_old[i]) -
+                   4.0 * (p_half[i] + q_new[i]));
+      if (std::fabs(e_new[i]) < e_cut) e_new[i] = 0.0;
+      if (e_new[i] < emin) e_new[i] = emin;
+    });
+  }
+}
+
+long double ENERGY::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c) + suite::calc_checksum(m_d);
+}
+
+void ENERGY::tearDown(VariantID) { free_data(m_a, m_b, m_c, m_d, m_e); }
+
+PRESSURE::PRESSURE(const RunParams& params)
+    : KernelBase("PRESSURE", GroupID::Apps, params) {
+  set_default_size(700000);
+  set_default_reps(15);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 3.0 * n;
+  t.bytes_written = 8.0 * 2.0 * n;
+  t.flops = 5.0 * n;
+  t.working_set_bytes = 8.0 * 5.0 * n;
+  t.branches = 3.0 * n;
+  t.mispredict_rate = 0.05;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.25;
+  t.fp_eff_gpu = 0.30;
+}
+
+void PRESSURE::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, n, 1531u);      // compression
+  suite::init_data(m_b, n, 1543u);      // e_old
+  suite::init_data(m_c, n, 1549u);      // vnewc
+  suite::init_data_const(m_d, n, 0.0);  // bvc
+  suite::init_data_const(m_e, n, 0.0);  // p_new
+}
+
+void PRESSURE::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* compression = m_a.data();
+  const double* e_old = m_b.data();
+  const double* vnewc = m_c.data();
+  double* bvc = m_d.data();
+  double* p_new = m_e.data();
+  const double cls = 2.0 / 3.0, p_cut = 1.0e-7, eosvmax = 1.0e+9,
+               pmin = 0.0;
+
+  const Index_type reps = run_reps();
+  for (Index_type r = 0; r < reps; ++r) {
+    run_forall(vid, 0, n, 1, [=](Index_type i) {
+      bvc[i] = cls * (compression[i] + 1.0);
+    });
+    run_forall(vid, 0, n, 1, [=](Index_type i) {
+      p_new[i] = bvc[i] * e_old[i];
+      if (std::fabs(p_new[i]) < p_cut) p_new[i] = 0.0;
+      if (vnewc[i] >= eosvmax) p_new[i] = 0.0;
+      if (p_new[i] < pmin) p_new[i] = pmin;
+    });
+  }
+}
+
+long double PRESSURE::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_e);
+}
+
+void PRESSURE::tearDown(VariantID) { free_data(m_a, m_b, m_c, m_d, m_e); }
+
+}  // namespace rperf::kernels::apps

@@ -1,0 +1,72 @@
+// COPY8: copy eight arrays in a single loop — stresses load/store ports
+// and register pressure.
+#include "kernels/basic/basic.hpp"
+
+namespace rperf::kernels::basic {
+
+COPY8::COPY8(const RunParams& params)
+    : KernelBase("COPY8", GroupID::Basic, params) {
+  set_default_size(250000);
+  set_default_reps(10);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 8.0 * n;
+  t.bytes_written = 8.0 * 8.0 * n;
+  t.flops = 0.0;
+  t.working_set_bytes = 16.0 * 8.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.20;
+  t.fp_eff_gpu = 0.20;
+}
+
+void COPY8::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  // Source: 4 named arrays split in halves gives 8 logical streams.
+  suite::init_data(m_a, 4 * n, 211u);
+  suite::init_data(m_b, 4 * n, 223u);
+  suite::init_data_const(m_c, 4 * n, 0.0);
+  suite::init_data_const(m_d, 4 * n, 0.0);
+}
+
+void COPY8::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* x0 = m_a.data();
+  const double* x1 = m_a.data() + n;
+  const double* x2 = m_a.data() + 2 * n;
+  const double* x3 = m_a.data() + 3 * n;
+  const double* x4 = m_b.data();
+  const double* x5 = m_b.data() + n;
+  const double* x6 = m_b.data() + 2 * n;
+  const double* x7 = m_b.data() + 3 * n;
+  double* y0 = m_c.data();
+  double* y1 = m_c.data() + n;
+  double* y2 = m_c.data() + 2 * n;
+  double* y3 = m_c.data() + 3 * n;
+  double* y4 = m_d.data();
+  double* y5 = m_d.data() + n;
+  double* y6 = m_d.data() + 2 * n;
+  double* y7 = m_d.data() + 3 * n;
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    y0[i] = x0[i];
+    y1[i] = x1[i];
+    y2[i] = x2[i];
+    y3[i] = x3[i];
+    y4[i] = x4[i];
+    y5[i] = x5[i];
+    y6[i] = x6[i];
+    y7[i] = x7[i];
+  });
+}
+
+long double COPY8::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c) + suite::calc_checksum(m_d);
+}
+
+void COPY8::tearDown(VariantID) { free_data(m_a, m_b, m_c, m_d); }
+
+}  // namespace rperf::kernels::basic

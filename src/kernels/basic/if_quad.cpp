@@ -1,0 +1,69 @@
+// IF_QUAD: solve a*x^2 + b*x + c = 0 per element with a branch on the
+// discriminant — data-dependent control flow (bad-speculation probe).
+#include <cmath>
+
+#include "kernels/basic/basic.hpp"
+
+namespace rperf::kernels::basic {
+
+IF_QUAD::IF_QUAD(const RunParams& params)
+    : KernelBase("IF_QUAD", GroupID::Basic, params) {
+  set_default_size(500000);
+  set_default_reps(10);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 24.0 * n;
+  t.bytes_written = 16.0 * n;
+  t.flops = 11.0 * n;  // discriminant + sqrt + two roots (positive branch)
+  t.working_set_bytes = 40.0 * n;
+  t.branches = 2.0 * n;
+  t.mispredict_rate = 0.15;  // mixed-sign discriminants
+  t.int_ops = 4.0 * n;
+  t.avg_parallelism = n;
+  t.vector_fraction = 0.4;
+  t.fp_eff_cpu = 0.10;  // sqrt + branches defeat vectorization
+  t.fp_eff_gpu = 0.15;  // warp divergence
+  t.access_eff_gpu = 0.9;
+}
+
+void IF_QUAD::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, n, 301u);               // a in (0,1)
+  suite::init_data_ramp(m_b, n, -1.0, 1.0);     // b
+  suite::init_data_ramp(m_c, n, -0.5, 0.5);     // c: mixed-sign discriminant
+  suite::init_data_const(m_d, n, 0.0);          // x1
+  suite::init_data_const(m_e, n, 0.0);          // x2
+}
+
+void IF_QUAD::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* a = m_a.data();
+  const double* b = m_b.data();
+  const double* c = m_c.data();
+  double* x1 = m_d.data();
+  double* x2 = m_e.data();
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    const double s = b[i] * b[i] - 4.0 * a[i] * c[i];
+    if (s >= 0.0) {
+      const double s2 = std::sqrt(s);
+      const double denom = 0.5 / a[i];
+      x2[i] = (-b[i] - s2) * denom;
+      x1[i] = (-b[i] + s2) * denom;
+    } else {
+      x2[i] = 0.0;
+      x1[i] = 0.0;
+    }
+  });
+}
+
+long double IF_QUAD::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_d) + suite::calc_checksum(m_e);
+}
+
+void IF_QUAD::tearDown(VariantID) { free_data(m_a, m_b, m_c, m_d, m_e); }
+
+}  // namespace rperf::kernels::basic

@@ -1,0 +1,106 @@
+// INIT3:      out1[i] = out2[i] = out3[i] = -in1[i] - in2[i]
+// MULADDSUB:  out1[i] = in1[i]*in2[i]; out2[i] = in1[i]+in2[i];
+//             out3[i] = in1[i]-in2[i]
+#include "kernels/basic/basic.hpp"
+
+namespace rperf::kernels::basic {
+
+INIT3::INIT3(const RunParams& params)
+    : KernelBase("INIT3", GroupID::Basic, params) {
+  set_default_size(1000000);
+  set_default_reps(20);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 16.0 * n;
+  t.bytes_written = 24.0 * n;
+  t.flops = 2.0 * n;
+  t.working_set_bytes = 40.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.25;
+  t.fp_eff_gpu = 0.25;
+}
+
+void INIT3::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, n, 311u);
+  suite::init_data(m_b, n, 313u);
+  suite::init_data_const(m_c, n, 0.0);
+  suite::init_data_const(m_d, n, 0.0);
+  suite::init_data_const(m_e, n, 0.0);
+}
+
+void INIT3::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* in1 = m_a.data();
+  const double* in2 = m_b.data();
+  double* out1 = m_c.data();
+  double* out2 = m_d.data();
+  double* out3 = m_e.data();
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    out1[i] = out2[i] = out3[i] = -in1[i] - in2[i];
+  });
+}
+
+long double INIT3::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c) + suite::calc_checksum(m_d) +
+         suite::calc_checksum(m_e);
+}
+
+void INIT3::tearDown(VariantID) { free_data(m_a, m_b, m_c, m_d, m_e); }
+
+MULADDSUB::MULADDSUB(const RunParams& params)
+    : KernelBase("MULADDSUB", GroupID::Basic, params) {
+  set_default_size(1000000);
+  set_default_reps(20);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 16.0 * n;
+  t.bytes_written = 24.0 * n;
+  t.flops = 3.0 * n;
+  t.working_set_bytes = 40.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.30;
+  t.fp_eff_gpu = 0.30;
+}
+
+void MULADDSUB::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, n, 331u);
+  suite::init_data(m_b, n, 337u);
+  suite::init_data_const(m_c, n, 0.0);
+  suite::init_data_const(m_d, n, 0.0);
+  suite::init_data_const(m_e, n, 0.0);
+}
+
+void MULADDSUB::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* in1 = m_a.data();
+  const double* in2 = m_b.data();
+  double* out1 = m_c.data();
+  double* out2 = m_d.data();
+  double* out3 = m_e.data();
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    out1[i] = in1[i] * in2[i];
+    out2[i] = in1[i] + in2[i];
+    out3[i] = in1[i] - in2[i];
+  });
+}
+
+long double MULADDSUB::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_c) + suite::calc_checksum(m_d) +
+         suite::calc_checksum(m_e);
+}
+
+void MULADDSUB::tearDown(VariantID) { free_data(m_a, m_b, m_c, m_d, m_e); }
+
+}  // namespace rperf::kernels::basic

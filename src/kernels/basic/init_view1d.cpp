@@ -1,0 +1,91 @@
+// INIT_VIEW1D:        view(i) = (i+1) * v   through a 1-D View
+// INIT_VIEW1D_OFFSET: view(i) = i * v       through a 1-based offset View
+//
+// The paper notes these kernels are retiring-bound (no specific hardware
+// bottleneck) and gain on GPUs purely from added parallelism.
+#include "kernels/basic/basic.hpp"
+
+namespace rperf::kernels::basic {
+
+namespace {
+
+void fill_view_traits(rperf::machine::KernelTraits& t, double n) {
+  t.bytes_read = 0.0;
+  t.bytes_written = 8.0 * n;
+  t.flops = 1.0 * n;
+  t.working_set_bytes = 8.0 * n;
+  t.branches = n;
+  t.int_ops = 4.0 * n;  // index arithmetic through the view layout
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.15;
+  t.fp_eff_gpu = 0.30;
+  t.access_eff_cpu = 0.65;  // write-only stream, no read overlap
+  t.access_eff_gpu = 0.9;
+}
+
+}  // namespace
+
+INIT_VIEW1D::INIT_VIEW1D(const RunParams& params)
+    : KernelBase("INIT_VIEW1D", GroupID::Basic, params) {
+  set_default_size(1000000);
+  set_default_reps(20);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_feature(FeatureID::View);
+  add_all_variants();
+  fill_view_traits(traits_rw(), static_cast<double>(actual_prob_size()));
+}
+
+void INIT_VIEW1D::setUp(VariantID) {
+  suite::init_data_const(m_a, actual_prob_size(), 0.0);
+  m_s0 = 0.00000123;
+}
+
+void INIT_VIEW1D::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double v = m_s0;
+  port::View<double, 1> view(m_a.data(), n);
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    view(i) = static_cast<double>(i + 1) * v;
+  });
+}
+
+long double INIT_VIEW1D::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_a);
+}
+
+void INIT_VIEW1D::tearDown(VariantID) { free_data(m_a); }
+
+INIT_VIEW1D_OFFSET::INIT_VIEW1D_OFFSET(const RunParams& params)
+    : KernelBase("INIT_VIEW1D_OFFSET", GroupID::Basic, params) {
+  set_default_size(1000000);
+  set_default_reps(20);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_feature(FeatureID::View);
+  add_all_variants();
+  fill_view_traits(traits_rw(), static_cast<double>(actual_prob_size()));
+}
+
+void INIT_VIEW1D_OFFSET::setUp(VariantID) {
+  suite::init_data_const(m_a, actual_prob_size(), 0.0);
+  m_s0 = 0.00000123;
+}
+
+void INIT_VIEW1D_OFFSET::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double v = m_s0;
+  // 1-based iteration writing through an offset of -1, as in RAJAPerf.
+  double* base = m_a.data() - 1;
+  run_forall(vid, 1, n + 1, run_reps(), [=](Index_type i) {
+    base[i] = static_cast<double>(i) * v;
+  });
+}
+
+long double INIT_VIEW1D_OFFSET::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_a);
+}
+
+void INIT_VIEW1D_OFFSET::tearDown(VariantID) { free_data(m_a); }
+
+}  // namespace rperf::kernels::basic

@@ -1,0 +1,38 @@
+// Comm group kernel declarations (Table I, group 4). The shared HaloState
+// is an implementation detail defined in halo_kernels.cpp.
+#pragma once
+
+#include <memory>
+
+#include "kernels/common.hpp"
+
+namespace rperf::kernels::comm_group {
+
+struct HaloState;
+
+#define RPERF_DECLARE_HALO_KERNEL(Name)                                  \
+  class Name : public ::rperf::suite::KernelBase {                       \
+   public:                                                               \
+    explicit Name(const ::rperf::suite::RunParams& params);              \
+    ~Name() override;                                                    \
+                                                                         \
+   protected:                                                            \
+    void setUp(::rperf::suite::VariantID vid) override;                  \
+    void runVariant(::rperf::suite::VariantID vid) override;             \
+    long double computeChecksum(::rperf::suite::VariantID vid) override; \
+    void tearDown(::rperf::suite::VariantID vid) override;               \
+                                                                         \
+   private:                                                              \
+    std::unique_ptr<HaloState> m_state;                                  \
+    port::Index_type m_ld = 0;                                           \
+  }
+
+RPERF_DECLARE_HALO_KERNEL(HALO_PACKING);
+RPERF_DECLARE_HALO_KERNEL(HALO_PACKING_FUSED);
+RPERF_DECLARE_HALO_KERNEL(HALO_SENDRECV);
+RPERF_DECLARE_HALO_KERNEL(HALO_EXCHANGE);
+RPERF_DECLARE_HALO_KERNEL(HALO_EXCHANGE_FUSED);
+
+#undef RPERF_DECLARE_HALO_KERNEL
+
+}  // namespace rperf::kernels::comm_group

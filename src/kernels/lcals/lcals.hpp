@@ -1,0 +1,24 @@
+// Lcals group: Livermore Loops translated to C++ (Table I, group 5).
+// These kernels probe compiler optimization of classic Fortran loop
+// patterns; most are memory-bandwidth bound (the paper's cluster 2).
+#pragma once
+
+#include "kernels/common.hpp"
+
+namespace rperf::kernels::lcals {
+
+RPERF_DECLARE_KERNEL(DIFF_PREDICT);
+RPERF_DECLARE_KERNEL(EOS);
+RPERF_DECLARE_KERNEL(FIRST_DIFF);
+RPERF_DECLARE_KERNEL(FIRST_MIN, port::Index_type m_loc = 0;);
+RPERF_DECLARE_KERNEL(FIRST_SUM);
+RPERF_DECLARE_KERNEL(GEN_LIN_RECUR, port::Index_type m_nbands = 0;
+                     port::Index_type m_band_len = 0;);
+RPERF_DECLARE_KERNEL(HYDRO_1D);
+RPERF_DECLARE_KERNEL(HYDRO_2D, port::Index_type m_jn = 0, m_kn = 0;
+                     std::vector<double> m_f, m_g, m_h, m_p, m_q;);
+RPERF_DECLARE_KERNEL(INT_PREDICT);
+RPERF_DECLARE_KERNEL(PLANCKIAN);
+RPERF_DECLARE_KERNEL(TRIDIAG_ELIM);
+
+}  // namespace rperf::kernels::lcals

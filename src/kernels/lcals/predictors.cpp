@@ -1,0 +1,115 @@
+// DIFF_PREDICT: order-10 difference-table predictor over 14 data planes.
+// INT_PREDICT:  polynomial integration predictor over 13 data planes.
+// Both stream many planes per element — heavily memory bound.
+#include "kernels/lcals/lcals.hpp"
+
+namespace rperf::kernels::lcals {
+
+DIFF_PREDICT::DIFF_PREDICT(const RunParams& params)
+    : KernelBase("DIFF_PREDICT", GroupID::Lcals, params) {
+  set_default_size(400000);
+  set_default_reps(10);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 10.0 * n;   // cx plane + 9 px planes read
+  t.bytes_written = 8.0 * 10.0 * n;
+  t.flops = 9.0 * n;
+  t.working_set_bytes = 8.0 * 15.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.15;
+  t.fp_eff_gpu = 0.20;
+}
+
+void DIFF_PREDICT::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, 14 * n, 501u);  // px: 14 planes
+  suite::init_data(m_b, 14 * n, 503u);  // cx
+}
+
+void DIFF_PREDICT::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const Index_type offset = n;
+  double* px = m_a.data();
+  const double* cx = m_b.data();
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    double ar, br, cr;
+    ar = cx[5 * offset + i];
+    br = ar - px[5 * offset + i];
+    px[5 * offset + i] = ar;
+    cr = br - px[6 * offset + i];
+    px[6 * offset + i] = br;
+    ar = cr - px[7 * offset + i];
+    px[7 * offset + i] = cr;
+    br = ar - px[8 * offset + i];
+    px[8 * offset + i] = ar;
+    cr = br - px[9 * offset + i];
+    px[9 * offset + i] = br;
+    ar = cr - px[10 * offset + i];
+    px[10 * offset + i] = cr;
+    br = ar - px[11 * offset + i];
+    px[11 * offset + i] = ar;
+    cr = br - px[12 * offset + i];
+    px[12 * offset + i] = br;
+    px[13 * offset + i] = cr;
+  });
+}
+
+long double DIFF_PREDICT::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_a);
+}
+
+void DIFF_PREDICT::tearDown(VariantID) { free_data(m_a, m_b); }
+
+INT_PREDICT::INT_PREDICT(const RunParams& params)
+    : KernelBase("INT_PREDICT", GroupID::Lcals, params) {
+  set_default_size(400000);
+  set_default_reps(10);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 10.0 * n;
+  t.bytes_written = 8.0 * n;
+  t.flops = 17.0 * n;
+  t.working_set_bytes = 8.0 * 13.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.25;
+  t.fp_eff_gpu = 0.30;
+}
+
+void INT_PREDICT::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, 13 * n, 521u);  // px: 13 planes
+}
+
+void INT_PREDICT::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const Index_type offset = n;
+  double* px = m_a.data();
+  const double dm22 = 0.2, dm23 = 0.3, dm24 = 0.4, dm25 = 0.5, dm26 = 0.6,
+               dm27 = 0.7, dm28 = 0.8, c0 = 1.1;
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    px[i] = dm28 * px[12 * offset + i] + dm27 * px[11 * offset + i] +
+            dm26 * px[10 * offset + i] + dm25 * px[9 * offset + i] +
+            dm24 * px[8 * offset + i] + dm23 * px[7 * offset + i] +
+            dm22 * px[6 * offset + i] +
+            c0 * (px[4 * offset + i] + px[5 * offset + i]) +
+            px[2 * offset + i];
+  });
+}
+
+long double INT_PREDICT::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_a.data(), actual_prob_size());
+}
+
+void INT_PREDICT::tearDown(VariantID) { free_data(m_a); }
+
+}  // namespace rperf::kernels::lcals

@@ -1,0 +1,230 @@
+// EOS:        equation-of-state fragment (Livermore loop 7)
+// HYDRO_1D:   1-D hydrodynamics fragment (Livermore loop 1)
+// FIRST_DIFF: first-order difference x[i] = y[i+1] - y[i]
+// FIRST_SUM:  running pairwise sum  x[i] = y[i-1] + y[i]
+// PLANCKIAN:  Planck radiation law fragment (Livermore loop 22)
+#include <cmath>
+
+#include "kernels/lcals/lcals.hpp"
+
+namespace rperf::kernels::lcals {
+
+EOS::EOS(const RunParams& params) : KernelBase("EOS", GroupID::Lcals, params) {
+  set_default_size(800000);
+  set_default_reps(15);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 10.0 * n;  // u window + y + z
+  t.bytes_written = 8.0 * n;
+  t.flops = 16.0 * n;
+  t.working_set_bytes = 8.0 * 4.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.30;
+  t.fp_eff_gpu = 0.35;
+}
+
+void EOS::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, n + 7, 601u);  // u (with halo for i+6)
+  suite::init_data(m_b, n, 607u);      // y
+  suite::init_data(m_c, n, 613u);      // z
+  suite::init_data_const(m_d, n, 0.0); // x
+}
+
+void EOS::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* u = m_a.data();
+  const double* y = m_b.data();
+  const double* z = m_c.data();
+  double* x = m_d.data();
+  const double q = 0.5, r = 0.25, t = 0.125;
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    x[i] = u[i] + r * (z[i] + r * y[i]) +
+           t * (u[i + 3] + r * (u[i + 2] + r * u[i + 1]) +
+                t * (u[i + 6] + q * (u[i + 5] + q * u[i + 4])));
+  });
+}
+
+long double EOS::computeChecksum(VariantID) { return suite::calc_checksum(m_d); }
+
+void EOS::tearDown(VariantID) { free_data(m_a, m_b, m_c, m_d); }
+
+HYDRO_1D::HYDRO_1D(const RunParams& params)
+    : KernelBase("HYDRO_1D", GroupID::Lcals, params) {
+  set_default_size(800000);
+  set_default_reps(15);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 3.0 * n;
+  t.bytes_written = 8.0 * n;
+  t.flops = 5.0 * n;
+  t.working_set_bytes = 8.0 * 3.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.30;
+  t.fp_eff_gpu = 0.35;
+}
+
+void HYDRO_1D::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_b, n, 617u);        // y
+  suite::init_data(m_c, n + 12, 619u);   // z (halo for i+11)
+  suite::init_data_const(m_a, n, 0.0);   // x
+}
+
+void HYDRO_1D::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* y = m_b.data();
+  const double* z = m_c.data();
+  double* x = m_a.data();
+  const double q = 0.5, r = 0.25, t = 0.125;
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    x[i] = q + y[i] * (r * z[i + 10] + t * z[i + 11]);
+  });
+}
+
+long double HYDRO_1D::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_a);
+}
+
+void HYDRO_1D::tearDown(VariantID) { free_data(m_a, m_b, m_c); }
+
+FIRST_DIFF::FIRST_DIFF(const RunParams& params)
+    : KernelBase("FIRST_DIFF", GroupID::Lcals, params) {
+  set_default_size(1000000);
+  set_default_reps(20);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * n;  // y is re-read with unit overlap
+  t.bytes_written = 8.0 * n;
+  t.flops = 1.0 * n;
+  t.working_set_bytes = 16.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.25;
+  t.fp_eff_gpu = 0.30;
+}
+
+void FIRST_DIFF::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_b, n + 1, 631u);   // y
+  suite::init_data_const(m_a, n, 0.0);  // x
+}
+
+void FIRST_DIFF::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* y = m_b.data();
+  double* x = m_a.data();
+  run_forall(vid, 0, n, run_reps(),
+             [=](Index_type i) { x[i] = y[i + 1] - y[i]; });
+}
+
+long double FIRST_DIFF::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_a);
+}
+
+void FIRST_DIFF::tearDown(VariantID) { free_data(m_a, m_b); }
+
+FIRST_SUM::FIRST_SUM(const RunParams& params)
+    : KernelBase("FIRST_SUM", GroupID::Lcals, params) {
+  set_default_size(1000000);
+  set_default_reps(20);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * n;
+  t.bytes_written = 8.0 * n;
+  t.flops = 1.0 * n;
+  t.working_set_bytes = 16.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.25;
+  t.fp_eff_gpu = 0.30;
+}
+
+void FIRST_SUM::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_b, n, 641u);       // y
+  suite::init_data_const(m_a, n, 0.0);  // x
+}
+
+void FIRST_SUM::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* y = m_b.data();
+  double* x = m_a.data();
+  run_forall(vid, 1, n, run_reps(),
+             [=](Index_type i) { x[i] = y[i - 1] + y[i]; });
+}
+
+long double FIRST_SUM::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_a);
+}
+
+void FIRST_SUM::tearDown(VariantID) { free_data(m_a, m_b); }
+
+PLANCKIAN::PLANCKIAN(const RunParams& params)
+    : KernelBase("PLANCKIAN", GroupID::Lcals, params) {
+  set_default_size(500000);
+  set_default_reps(10);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 8.0 * 3.0 * n;
+  t.bytes_written = 8.0 * 2.0 * n;
+  t.flops = 14.0 * n;  // divide + exp expansion
+  t.working_set_bytes = 8.0 * 5.0 * n;
+  t.branches = n;
+  t.int_ops = 25.0 * n;  // exp is a long dependent chain
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.12;
+  t.fp_eff_gpu = 0.35;
+}
+
+void PLANCKIAN::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, n, 643u);       // x
+  suite::init_data_ramp(m_b, n, 0.5, 4.5);  // u
+  suite::init_data_ramp(m_c, n, 1.0, 2.0);  // v (positive)
+  suite::init_data_const(m_d, n, 0.0);  // y
+  suite::init_data_const(m_e, n, 0.0);  // w
+}
+
+void PLANCKIAN::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* x = m_a.data();
+  const double* u = m_b.data();
+  const double* v = m_c.data();
+  double* y = m_d.data();
+  double* w = m_e.data();
+  run_forall(vid, 0, n, run_reps(), [=](Index_type i) {
+    y[i] = u[i] / v[i];
+    w[i] = x[i] / (std::exp(y[i]) - 1.0);
+  });
+}
+
+long double PLANCKIAN::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_e);
+}
+
+void PLANCKIAN::tearDown(VariantID) { free_data(m_a, m_b, m_c, m_d, m_e); }
+
+}  // namespace rperf::kernels::lcals

@@ -1,0 +1,25 @@
+// Polybench group: polyhedral-compiler study kernels (Table I, group 6).
+// Matrix kernels size themselves as dim = sqrt(problem_size): the problem
+// size counts matrix *storage*, so matmul-class kernels are O(n^{3/2}).
+#pragma once
+
+#include "kernels/common.hpp"
+
+namespace rperf::kernels::polybench {
+
+RPERF_DECLARE_KERNEL(P2MM, port::Index_type m_dim = 0;);
+RPERF_DECLARE_KERNEL(P3MM, port::Index_type m_dim = 0;);
+RPERF_DECLARE_KERNEL(ADI, port::Index_type m_dim = 0, m_tsteps = 0;);
+RPERF_DECLARE_KERNEL(ATAX, port::Index_type m_dim = 0;);
+RPERF_DECLARE_KERNEL(FDTD_2D, port::Index_type m_ni = 0, m_nj = 0,
+                              m_tsteps = 0;);
+RPERF_DECLARE_KERNEL(FLOYD_WARSHALL, port::Index_type m_dim = 0;);
+RPERF_DECLARE_KERNEL(GEMM, port::Index_type m_dim = 0;);
+RPERF_DECLARE_KERNEL(GEMVER, port::Index_type m_dim = 0;);
+RPERF_DECLARE_KERNEL(GESUMMV, port::Index_type m_dim = 0;);
+RPERF_DECLARE_KERNEL(HEAT_3D, port::Index_type m_dim = 0, m_tsteps = 0;);
+RPERF_DECLARE_KERNEL(JACOBI_1D, port::Index_type m_tsteps = 0;);
+RPERF_DECLARE_KERNEL(JACOBI_2D, port::Index_type m_dim = 0, m_tsteps = 0;);
+RPERF_DECLARE_KERNEL(MVT, port::Index_type m_dim = 0;);
+
+}  // namespace rperf::kernels::polybench

@@ -1,0 +1,169 @@
+// Explicit kernel registry in Table I order.
+//
+// Registration is explicit (rather than via static-initializer tricks) so
+// archive linking can never silently drop kernels, and so the canonical
+// suite order used by every report is defined in exactly one place.
+#include "suite/registry.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "kernels/algorithm/algorithm.hpp"
+#include "kernels/apps/apps.hpp"
+#include "kernels/basic/basic.hpp"
+#include "kernels/comm/comm.hpp"
+#include "kernels/lcals/lcals.hpp"
+#include "kernels/polybench/polybench.hpp"
+#include "kernels/stream/stream.hpp"
+
+namespace rperf::suite {
+
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<KernelBase>(const RunParams&)>;
+
+template <typename K>
+Factory make_factory() {
+  return [](const RunParams& p) { return std::make_unique<K>(p); };
+}
+
+struct Entry {
+  std::string name;
+  Factory factory;
+};
+
+const std::vector<Entry>& table() {
+  namespace kn = ::rperf::kernels;
+  static const std::vector<Entry> entries = {
+      // ----- Algorithm -----
+      {"Algorithm_ATOMIC", make_factory<kn::algorithm::ATOMIC>()},
+      {"Algorithm_HISTOGRAM", make_factory<kn::algorithm::HISTOGRAM>()},
+      {"Algorithm_MEMCPY", make_factory<kn::algorithm::MEMCPY>()},
+      {"Algorithm_MEMSET", make_factory<kn::algorithm::MEMSET>()},
+      {"Algorithm_REDUCE_SUM", make_factory<kn::algorithm::REDUCE_SUM>()},
+      {"Algorithm_SCAN", make_factory<kn::algorithm::SCAN>()},
+      {"Algorithm_SORT", make_factory<kn::algorithm::SORT>()},
+      {"Algorithm_SORTPAIRS", make_factory<kn::algorithm::SORTPAIRS>()},
+      // ----- Apps -----
+      {"Apps_CONVECTION3DPA", make_factory<kn::apps::CONVECTION3DPA>()},
+      {"Apps_DEL_DOT_VEC_2D", make_factory<kn::apps::DEL_DOT_VEC_2D>()},
+      {"Apps_DIFFUSION3DPA", make_factory<kn::apps::DIFFUSION3DPA>()},
+      {"Apps_EDGE3D", make_factory<kn::apps::EDGE3D>()},
+      {"Apps_ENERGY", make_factory<kn::apps::ENERGY>()},
+      {"Apps_FIR", make_factory<kn::apps::FIR>()},
+      {"Apps_LTIMES", make_factory<kn::apps::LTIMES>()},
+      {"Apps_LTIMES_NOVIEW", make_factory<kn::apps::LTIMES_NOVIEW>()},
+      {"Apps_MASS3DEA", make_factory<kn::apps::MASS3DEA>()},
+      {"Apps_MASS3DPA", make_factory<kn::apps::MASS3DPA>()},
+      {"Apps_MATVEC_3D_STENCIL", make_factory<kn::apps::MATVEC_3D_STENCIL>()},
+      {"Apps_NODAL_ACCUMULATION_3D",
+       make_factory<kn::apps::NODAL_ACCUMULATION_3D>()},
+      {"Apps_PRESSURE", make_factory<kn::apps::PRESSURE>()},
+      {"Apps_VOL3D", make_factory<kn::apps::VOL3D>()},
+      {"Apps_ZONAL_ACCUMULATION_3D",
+       make_factory<kn::apps::ZONAL_ACCUMULATION_3D>()},
+      // ----- Basic -----
+      {"Basic_ARRAY_OF_PTRS", make_factory<kn::basic::ARRAY_OF_PTRS>()},
+      {"Basic_COPY8", make_factory<kn::basic::COPY8>()},
+      {"Basic_DAXPY", make_factory<kn::basic::DAXPY>()},
+      {"Basic_DAXPY_ATOMIC", make_factory<kn::basic::DAXPY_ATOMIC>()},
+      {"Basic_IF_QUAD", make_factory<kn::basic::IF_QUAD>()},
+      {"Basic_INDEXLIST", make_factory<kn::basic::INDEXLIST>()},
+      {"Basic_INDEXLIST_3LOOP", make_factory<kn::basic::INDEXLIST_3LOOP>()},
+      {"Basic_INIT3", make_factory<kn::basic::INIT3>()},
+      {"Basic_INIT_VIEW1D", make_factory<kn::basic::INIT_VIEW1D>()},
+      {"Basic_INIT_VIEW1D_OFFSET",
+       make_factory<kn::basic::INIT_VIEW1D_OFFSET>()},
+      {"Basic_MAT_MAT_SHARED", make_factory<kn::basic::MAT_MAT_SHARED>()},
+      {"Basic_MULADDSUB", make_factory<kn::basic::MULADDSUB>()},
+      {"Basic_MULTI_REDUCE", make_factory<kn::basic::MULTI_REDUCE>()},
+      {"Basic_NESTED_INIT", make_factory<kn::basic::NESTED_INIT>()},
+      {"Basic_PI_ATOMIC", make_factory<kn::basic::PI_ATOMIC>()},
+      {"Basic_PI_REDUCE", make_factory<kn::basic::PI_REDUCE>()},
+      {"Basic_REDUCE3_INT", make_factory<kn::basic::REDUCE3_INT>()},
+      {"Basic_REDUCE_STRUCT", make_factory<kn::basic::REDUCE_STRUCT>()},
+      {"Basic_TRAP_INT", make_factory<kn::basic::TRAP_INT>()},
+      // ----- Comm -----
+      {"Comm_HALO_EXCHANGE", make_factory<kn::comm_group::HALO_EXCHANGE>()},
+      {"Comm_HALO_EXCHANGE_FUSED",
+       make_factory<kn::comm_group::HALO_EXCHANGE_FUSED>()},
+      {"Comm_HALO_PACKING", make_factory<kn::comm_group::HALO_PACKING>()},
+      {"Comm_HALO_PACKING_FUSED",
+       make_factory<kn::comm_group::HALO_PACKING_FUSED>()},
+      {"Comm_HALO_SENDRECV", make_factory<kn::comm_group::HALO_SENDRECV>()},
+      // ----- Lcals -----
+      {"Lcals_DIFF_PREDICT", make_factory<kn::lcals::DIFF_PREDICT>()},
+      {"Lcals_EOS", make_factory<kn::lcals::EOS>()},
+      {"Lcals_FIRST_DIFF", make_factory<kn::lcals::FIRST_DIFF>()},
+      {"Lcals_FIRST_MIN", make_factory<kn::lcals::FIRST_MIN>()},
+      {"Lcals_FIRST_SUM", make_factory<kn::lcals::FIRST_SUM>()},
+      {"Lcals_GEN_LIN_RECUR", make_factory<kn::lcals::GEN_LIN_RECUR>()},
+      {"Lcals_HYDRO_1D", make_factory<kn::lcals::HYDRO_1D>()},
+      {"Lcals_HYDRO_2D", make_factory<kn::lcals::HYDRO_2D>()},
+      {"Lcals_INT_PREDICT", make_factory<kn::lcals::INT_PREDICT>()},
+      {"Lcals_PLANCKIAN", make_factory<kn::lcals::PLANCKIAN>()},
+      {"Lcals_TRIDIAG_ELIM", make_factory<kn::lcals::TRIDIAG_ELIM>()},
+      // ----- Polybench -----
+      {"Polybench_2MM", make_factory<kn::polybench::P2MM>()},
+      {"Polybench_3MM", make_factory<kn::polybench::P3MM>()},
+      {"Polybench_ADI", make_factory<kn::polybench::ADI>()},
+      {"Polybench_ATAX", make_factory<kn::polybench::ATAX>()},
+      {"Polybench_FDTD_2D", make_factory<kn::polybench::FDTD_2D>()},
+      {"Polybench_FLOYD_WARSHALL",
+       make_factory<kn::polybench::FLOYD_WARSHALL>()},
+      {"Polybench_GEMM", make_factory<kn::polybench::GEMM>()},
+      {"Polybench_GEMVER", make_factory<kn::polybench::GEMVER>()},
+      {"Polybench_GESUMMV", make_factory<kn::polybench::GESUMMV>()},
+      {"Polybench_HEAT_3D", make_factory<kn::polybench::HEAT_3D>()},
+      {"Polybench_JACOBI_1D", make_factory<kn::polybench::JACOBI_1D>()},
+      {"Polybench_JACOBI_2D", make_factory<kn::polybench::JACOBI_2D>()},
+      {"Polybench_MVT", make_factory<kn::polybench::MVT>()},
+      // ----- Stream -----
+      {"Stream_ADD", make_factory<kn::stream::ADD>()},
+      {"Stream_COPY", make_factory<kn::stream::COPY>()},
+      {"Stream_DOT", make_factory<kn::stream::DOT>()},
+      {"Stream_MUL", make_factory<kn::stream::MUL>()},
+      {"Stream_TRIAD", make_factory<kn::stream::TRIAD>()},
+  };
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_kernel_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.reserve(table().size());
+    for (const Entry& e : table()) out.push_back(e.name);
+    return out;
+  }();
+  return names;
+}
+
+std::unique_ptr<KernelBase> make_kernel(const std::string& name,
+                                        const RunParams& params) {
+  for (const Entry& e : table()) {
+    if (e.name == name) return e.factory(params);
+  }
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+std::vector<std::unique_ptr<KernelBase>> make_kernels(
+    const RunParams& params) {
+  std::vector<std::unique_ptr<KernelBase>> out;
+  for (const Entry& e : table()) {
+    if (!params.wants_kernel(e.name)) continue;
+    auto kernel = e.factory(params);
+    if (!params.wants_group(kernel->group())) continue;
+    if (params.feature_filter.has_value() &&
+        !kernel->has_feature(*params.feature_filter)) {
+      continue;
+    }
+    out.push_back(std::move(kernel));
+  }
+  return out;
+}
+
+}  // namespace rperf::suite

@@ -1,0 +1,48 @@
+#include "kernels/stream/stream.hpp"
+
+namespace rperf::kernels::stream {
+
+ADD::ADD(const RunParams& params)
+    : KernelBase("ADD", GroupID::Stream, params) {
+  set_default_size(1000000);
+  set_default_reps(20);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 16.0 * n;
+  t.bytes_written = 8.0 * n;
+  t.flops = 1.0 * n;
+  t.working_set_bytes = 24.0 * n;
+  t.branches = n;
+  t.mispredict_rate = 0.0005;
+  t.avg_parallelism = n;
+  t.access_eff_cpu = 1.0;
+  t.access_eff_gpu = 1.0;
+  t.fp_eff_cpu = 0.30;
+  t.fp_eff_gpu = 0.30;
+}
+
+void ADD::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_a, n, 11u);
+  suite::init_data(m_b, n, 23u);
+  suite::init_data_const(m_c, n, 0.0);
+}
+
+void ADD::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double* a = m_a.data();
+  const double* b = m_b.data();
+  double* c = m_c.data();
+  run_forall(vid, 0, n, run_reps(),
+             [=](Index_type i) { c[i] = a[i] + b[i]; });
+}
+
+long double ADD::computeChecksum(VariantID) { return suite::calc_checksum(m_c); }
+
+void ADD::tearDown(VariantID) { free_data(m_a, m_b, m_c); }
+
+}  // namespace rperf::kernels::stream

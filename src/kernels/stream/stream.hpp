@@ -1,0 +1,23 @@
+// Stream group: the McCalpin STREAM kernels (Table I, group 7).
+//
+// ADD   : c[i] = a[i] + b[i]
+// COPY  : c[i] = a[i]
+// DOT   : dot += a[i] * b[i]
+// MUL   : b[i] = alpha * c[i]
+// TRIAD : a[i] = b[i] + alpha * c[i]
+//
+// These are the canonical memory-bandwidth probes; Stream_TRIAD defines the
+// achieved-bandwidth row of Table II and the yellow reference line in Fig 9.
+#pragma once
+
+#include "kernels/common.hpp"
+
+namespace rperf::kernels::stream {
+
+RPERF_DECLARE_KERNEL(ADD);
+RPERF_DECLARE_KERNEL(COPY);
+RPERF_DECLARE_KERNEL(DOT);
+RPERF_DECLARE_KERNEL(MUL);
+RPERF_DECLARE_KERNEL(TRIAD);
+
+}  // namespace rperf::kernels::stream

@@ -1,0 +1,64 @@
+#include "kernels/stream/stream.hpp"
+
+namespace rperf::kernels::stream {
+
+TRIAD::TRIAD(const RunParams& params)
+    : KernelBase("TRIAD", GroupID::Stream, params) {
+  set_default_size(1000000);
+  set_default_reps(20);
+  set_complexity(Complexity::N);
+  add_feature(FeatureID::Forall);
+  add_all_variants();
+  add_tuning("omp_dynamic");  // dynamic scheduling for the OpenMP variants
+
+  const double n = static_cast<double>(actual_prob_size());
+  auto& t = traits_rw();
+  t.bytes_read = 16.0 * n;
+  t.bytes_written = 8.0 * n;
+  t.flops = 2.0 * n;
+  t.working_set_bytes = 24.0 * n;
+  t.branches = n;
+  t.mispredict_rate = 0.0005;
+  t.avg_parallelism = n;
+  t.access_eff_cpu = 1.0;
+  t.access_eff_gpu = 1.0;
+  t.fp_eff_cpu = 0.35;
+  t.fp_eff_gpu = 0.35;
+}
+
+void TRIAD::setUp(VariantID) {
+  const Index_type n = actual_prob_size();
+  suite::init_data(m_b, n, 31u);
+  suite::init_data(m_c, n, 37u);
+  suite::init_data_const(m_a, n, 0.0);
+  m_s0 = 0.25;  // alpha
+}
+
+void TRIAD::runVariant(VariantID vid) {
+  const Index_type n = actual_prob_size();
+  const double alpha = m_s0;
+  const double* b = m_b.data();
+  const double* c = m_c.data();
+  double* a = m_a.data();
+  // The "omp_dynamic" tuning swaps the OpenMP schedule; sequential
+  // variants are unaffected (and their results identical by construction).
+  if (current_tuning() == 1 && suite::is_openmp_variant(vid)) {
+    for (Index_type r = 0; r < run_reps(); ++r) {
+#pragma omp parallel for schedule(dynamic, 4096)
+      for (Index_type i = 0; i < n; ++i) {
+        a[i] = b[i] + alpha * c[i];
+      }
+    }
+    return;
+  }
+  run_forall(vid, 0, n, run_reps(),
+             [=](Index_type i) { a[i] = b[i] + alpha * c[i]; });
+}
+
+long double TRIAD::computeChecksum(VariantID) {
+  return suite::calc_checksum(m_a);
+}
+
+void TRIAD::tearDown(VariantID) { free_data(m_a, m_b, m_c); }
+
+}  // namespace rperf::kernels::stream

@@ -1,0 +1,191 @@
+#include "machine/machine.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace rperf::machine {
+
+namespace {
+
+MachineModel make_spr_ddr() {
+  MachineModel m;
+  m.shorthand = "SPR-DDR";
+  m.system_name = "Poodle (DDR)";
+  m.architecture = "Intel Sapphire Rapids";
+  m.kind = UnitKind::CPU;
+  m.units_per_node = 2;  // sockets
+  m.peak_tflops_unit = 2.3;
+  m.peak_tflops_node = 4.7;
+  m.peak_bw_unit_tbs = 0.3;
+  m.peak_bw_node_tbs = 0.6;
+  m.dense_flops_frac = 0.180;  // Basic_MAT_MAT_SHARED: 0.8 of 4.7 TFLOPS
+  m.stream_bw_frac = 0.777;    // Stream_TRIAD: 0.5 of 0.6 TB/s
+  m.clock_ghz = 2.0;
+  m.issue_width = 4;
+  m.simd_elems = 8.0;  // AVX-512 doubles
+  m.cores_per_node = 112;
+  m.frontend_gips = 1800.0;  // 112 cores x 2 GHz x ~8-wide decode
+  m.mispredict_penalty_ns = 8.5;  // ~17 cycles at 2 GHz
+  m.atomic_gops = 12.0;           // uncontended node aggregate
+  m.launch_overhead_us = 0.0;
+  m.required_parallelism = 896.0;  // 112 cores x 8 SIMD lanes
+  m.l1_bytes = 48.0e3 * 56;        // per socket
+  m.l2_bytes = 2.0e6 * 56;
+  m.llc_bytes = 112.5e6;
+  m.l2_bw_mult = 6.0;
+  m.llc_bw_mult = 2.5;
+  m.l2_bw_tbs = 3.6;   // 112 cores x ~32 GB/s sustained L2
+  m.llc_bw_tbs = 1.6;
+  m.net_latency_us = 1.5;
+  m.net_bw_gbs = 25.0;
+  return m;
+}
+
+MachineModel make_spr_hbm() {
+  MachineModel m = make_spr_ddr();
+  m.shorthand = "SPR-HBM";
+  m.system_name = "Poodle (HBM)";
+  m.peak_bw_unit_tbs = 1.6;
+  m.peak_bw_node_tbs = 3.3;
+  m.dense_flops_frac = 0.155;  // 0.7 of 4.7 TFLOPS
+  m.stream_bw_frac = 0.337;    // 1.1 of 3.3 TB/s
+  return m;
+}
+
+MachineModel make_p9_v100() {
+  MachineModel m;
+  m.shorthand = "P9-V100";
+  m.system_name = "Sierra";
+  m.architecture = "NVIDIA V100";
+  m.kind = UnitKind::GPU;
+  m.units_per_node = 4;  // GPUs
+  m.peak_tflops_unit = 7.8;
+  m.peak_tflops_node = 31.2;
+  m.peak_bw_unit_tbs = 0.9;
+  m.peak_bw_node_tbs = 3.6;
+  m.dense_flops_frac = 0.224;  // 7.0 of 31.2 TFLOPS
+  m.stream_bw_frac = 0.926;    // 3.3 of 3.6 TB/s
+  m.clock_ghz = 1.53;
+  m.issue_width = 4;  // warp schedulers per SM
+  m.simd_elems = 32.0;  // one warp instruction covers 32 threads
+  m.cores_per_node = 320;  // 80 SMs x 4 GPUs
+  m.frontend_gips = 1959.0;   // 320 SMs x 4 x 1.53 GHz (warp instructions)
+  m.mispredict_penalty_ns = 0.0;  // no speculation; divergence modeled via
+                                  // access/fp efficiencies
+  m.atomic_gops = 50.0;  // uncontended global atomics, node aggregate
+  m.launch_overhead_us = 8.0;
+  m.required_parallelism = 6.5e5;  // 4 GPUs x 80 SMs x 2048 threads
+  m.l1_bytes = 128.0e3 * 80;       // per GPU
+  m.l2_bytes = 6.0e6;
+  m.llc_bytes = 0.0;
+  m.l2_bw_mult = 3.0;
+  m.llc_bw_mult = 1.0;
+  m.l2_bw_tbs = 14.0;
+  m.llc_bw_tbs = 0.0;
+  m.net_latency_us = 1.0;
+  m.net_bw_gbs = 23.0;  // EDR InfiniBand x2
+  return m;
+}
+
+MachineModel make_epyc_mi250x() {
+  MachineModel m;
+  m.shorthand = "EPYC-MI250X";
+  m.system_name = "Tioga";
+  m.architecture = "AMD MI250X";
+  m.kind = UnitKind::GPU;
+  m.units_per_node = 8;  // GCDs
+  m.peak_tflops_unit = 24.0;
+  m.peak_tflops_node = 191.5;
+  m.peak_bw_unit_tbs = 1.6;
+  m.peak_bw_node_tbs = 12.8;
+  m.dense_flops_frac = 0.070;  // 13.3 of 191.5 TFLOPS
+  m.stream_bw_frac = 0.795;    // 10.2 of 12.8 TB/s
+  m.clock_ghz = 1.7;
+  m.issue_width = 4;
+  m.simd_elems = 32.0;  // wavefront-level issue (64-wide waves, 2 cycles)
+  m.cores_per_node = 880;  // 110 CUs x 8 GCDs
+  m.frontend_gips = 5984.0;
+  m.mispredict_penalty_ns = 0.0;
+  m.atomic_gops = 150.0;
+  m.launch_overhead_us = 6.0;
+  m.required_parallelism = 2.2e6;  // 8 GCDs x 110 CUs x 2560 threads
+  m.l1_bytes = 16.0e3 * 110;       // per GCD
+  m.l2_bytes = 8.0e6;
+  m.llc_bytes = 0.0;
+  m.l2_bw_mult = 2.5;
+  m.llc_bw_mult = 1.0;
+  m.l2_bw_tbs = 32.0;
+  m.llc_bw_tbs = 0.0;
+  m.net_latency_us = 1.0;
+  m.net_bw_gbs = 100.0;  // 4x Slingshot-11 NICs
+  return m;
+}
+
+}  // namespace
+
+const MachineModel& spr_ddr() {
+  static const MachineModel m = make_spr_ddr();
+  return m;
+}
+
+const MachineModel& spr_hbm() {
+  static const MachineModel m = make_spr_hbm();
+  return m;
+}
+
+const MachineModel& p9_v100() {
+  static const MachineModel m = make_p9_v100();
+  return m;
+}
+
+const MachineModel& epyc_mi250x() {
+  static const MachineModel m = make_epyc_mi250x();
+  return m;
+}
+
+MachineModel local_host() {
+  MachineModel m;
+  m.shorthand = "HOST";
+  m.system_name = "local host";
+  m.architecture = "generic x86-64";
+  m.kind = UnitKind::CPU;
+  m.units_per_node = 1;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  m.cores_per_node = static_cast<int>(hw);
+  m.clock_ghz = 2.5;
+  m.issue_width = 4;
+  m.simd_elems = 4.0;  // AVX2 doubles
+  // peak = cores x clock x 2 FMA x 4-wide
+  m.peak_tflops_node = hw * 2.5e9 * 16.0 / 1e12;
+  m.peak_tflops_unit = m.peak_tflops_node;
+  m.peak_bw_node_tbs = 0.02 * hw;  // ~20 GB/s per core until socket saturates
+  if (m.peak_bw_node_tbs > 0.1) m.peak_bw_node_tbs = 0.1;
+  m.peak_bw_unit_tbs = m.peak_bw_node_tbs;
+  m.dense_flops_frac = 0.30;
+  m.stream_bw_frac = 0.70;
+  m.frontend_gips = hw * 2.5 * 6.0;
+  m.mispredict_penalty_ns = 6.0;
+  m.atomic_gops = 0.1 * hw;
+  m.required_parallelism = hw * m.simd_elems;
+  m.l1_bytes = 32.0e3 * hw;
+  m.l2_bytes = 512.0e3 * hw;
+  m.llc_bytes = 8.0e6;
+  m.l2_bw_tbs = 0.08 * hw;
+  m.llc_bw_tbs = 0.04 * hw;
+  return m;
+}
+
+const std::vector<MachineModel>& paper_machines() {
+  static const std::vector<MachineModel> machines = {
+      spr_ddr(), spr_hbm(), p9_v100(), epyc_mi250x()};
+  return machines;
+}
+
+const MachineModel& by_shorthand(const std::string& shorthand) {
+  for (const MachineModel& m : paper_machines()) {
+    if (m.shorthand == shorthand) return m;
+  }
+  throw std::invalid_argument("unknown machine shorthand: " + shorthand);
+}
+
+}  // namespace rperf::machine

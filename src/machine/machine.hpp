@@ -1,0 +1,104 @@
+// Machine models for the four systems of Table II plus the local host.
+//
+// Each model captures per-unit and per-node peak rates, the achieved
+// fractions the paper measures with Basic_MAT_MAT_SHARED (dense FLOPS) and
+// Stream_TRIAD (streaming bandwidth), cache capacities, instruction-issue
+// capability, launch/atomic/network costs. These parameters drive the
+// performance predictor that substitutes for runs on the real LLNL machines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rperf::machine {
+
+enum class UnitKind { CPU, GPU };
+
+struct MachineModel {
+  std::string shorthand;    ///< e.g. "SPR-DDR"
+  std::string system_name;  ///< e.g. "Poodle (DDR)"
+  std::string architecture; ///< e.g. "Intel Sapphire Rapids"
+  UnitKind kind = UnitKind::CPU;
+  int units_per_node = 1;   ///< sockets (CPU) or GPUs/GCDs (GPU)
+
+  // ----- Table II peaks (node aggregate) -----
+  double peak_tflops_unit = 0.0;
+  double peak_tflops_node = 0.0;
+  double peak_bw_unit_tbs = 0.0;
+  double peak_bw_node_tbs = 0.0;
+
+  // ----- Table II achieved fractions -----
+  /// Fraction of peak FLOPS reached by Basic_MAT_MAT_SHARED.
+  double dense_flops_frac = 0.0;
+  /// Fraction of peak bandwidth reached by Stream_TRIAD.
+  double stream_bw_frac = 0.0;
+
+  // ----- microarchitecture parameters for the counter simulator -----
+  double clock_ghz = 2.0;
+  int issue_width = 4;            ///< instructions/cycle/core (or per SM)
+  double simd_elems = 1.0;        ///< elements per vector instruction (CPU)
+  int cores_per_node = 1;         ///< physical cores or SMs/CUs per node
+  double frontend_gips = 0.0;     ///< node fetch/decode rate, Ginstr/s
+  double mispredict_penalty_ns = 7.0;
+  double atomic_gops = 1.0;       ///< contended atomic RMW rate, Gops/s/node
+  double launch_overhead_us = 0.0;///< device kernel launch latency
+  double required_parallelism = 1.0;  ///< work items needed to saturate
+
+  // ----- cache model (per unit, bytes) -----
+  double l1_bytes = 0.0;
+  double l2_bytes = 0.0;
+  double llc_bytes = 0.0;   ///< L3 (CPU) or 0 (GPU: L2 is last level)
+  /// Bandwidth multipliers relative to main memory (used for roofline
+  /// ceilings).
+  double l2_bw_mult = 4.0;
+  double llc_bw_mult = 2.0;
+  /// Absolute sustained cache bandwidth (node aggregate, TB/s) when a
+  /// working set is resident at that level. An architectural property of
+  /// the chip: identical for SPR-DDR and SPR-HBM, which is why
+  /// cache-resident kernels gain nothing from HBM.
+  double l2_bw_tbs = 0.0;
+  double llc_bw_tbs = 0.0;
+
+  // ----- network model (for Comm kernels) -----
+  double net_latency_us = 1.0;
+  double net_bw_gbs = 25.0;   ///< per-node injection bandwidth, GB/s
+
+  // ----- derived helpers -----
+  [[nodiscard]] double peak_flops_node() const {
+    return peak_tflops_node * 1e12;
+  }
+  [[nodiscard]] double peak_bw_node() const { return peak_bw_node_tbs * 1e12; }
+  /// Achieved dense FLOPS (Basic_MAT_MAT_SHARED row of Table II).
+  [[nodiscard]] double achieved_flops_node() const {
+    return peak_flops_node() * dense_flops_frac;
+  }
+  /// Achieved streaming bandwidth (Stream_TRIAD row of Table II).
+  [[nodiscard]] double achieved_bw_node() const {
+    return peak_bw_node() * stream_bw_frac;
+  }
+  /// Node instruction-issue rate (Ginstr/s * 1e9).
+  [[nodiscard]] double issue_rate_node() const {
+    return clock_ghz * 1e9 * issue_width * cores_per_node;
+  }
+  [[nodiscard]] bool is_gpu() const { return kind == UnitKind::GPU; }
+};
+
+/// The four Table II systems, in paper order.
+const MachineModel& spr_ddr();
+const MachineModel& spr_hbm();
+const MachineModel& p9_v100();
+const MachineModel& epyc_mi250x();
+
+/// A model of the machine this code is actually running on (probed from
+/// the OS where possible, conservative defaults otherwise). Used to sanity-
+/// check the predictor against real measured runs.
+MachineModel local_host();
+
+/// All four paper machines, in Table II order.
+const std::vector<MachineModel>& paper_machines();
+
+/// Lookup by shorthand ("SPR-DDR", "SPR-HBM", "P9-V100", "EPYC-MI250X");
+/// throws std::invalid_argument for unknown names.
+const MachineModel& by_shorthand(const std::string& shorthand);
+
+}  // namespace rperf::machine

@@ -1,0 +1,88 @@
+// Analytic performance predictor — the simulated-machine backend.
+//
+// Given a kernel's traits and a machine model, the predictor computes a
+// time breakdown (the pipeline-slot components that Intel's Top-Down
+// Microarchitecture Analysis attributes: retiring, core-bound stall,
+// memory-bound stall, frontend, bad speculation, plus offload costs), the
+// predicted execution time, the level-1/2 TMA fractions, and achieved
+// bandwidth / FLOP rates.
+//
+// The model:
+//   t_mem   = bytes / (achieved_bw x access_eff x cache_boost)
+//   t_fp    = flops / (achieved_dense_flops x fp_eff)
+//   t_issue = dynamic_instructions / node_issue_rate
+//   t_core  = max(t_fp, t_issue)          (FP pipes vs issue slots)
+//   stall_mem  = max(0, t_mem - t_core)   (memory time not hidden)
+//   stall_core = t_core - t_issue         (FP-unit saturation)
+//   t_fe    = instructions x code_complexity / frontend_rate
+//   t_bs    = branches x mispredict_rate x penalty / cores
+//   t_atomic, t_launch, t_net             (serialization & offload costs)
+// and the exposed execution time is inflated when the kernel offers less
+// parallelism than the machine needs (line sweeps on GPUs).
+#pragma once
+
+#include "machine/machine.hpp"
+#include "machine/traits.hpp"
+
+namespace rperf::machine {
+
+/// Additive time components, in seconds (per kernel repetition).
+struct TimeBreakdown {
+  double retiring = 0.0;
+  double stall_core = 0.0;
+  double stall_mem = 0.0;
+  double frontend = 0.0;
+  double bad_spec = 0.0;
+  double atomic = 0.0;
+  double launch = 0.0;
+  double network = 0.0;
+
+  [[nodiscard]] double pipeline_total() const {
+    return retiring + stall_core + stall_mem + frontend + bad_spec + atomic;
+  }
+  [[nodiscard]] double total() const {
+    return pipeline_total() + launch + network;
+  }
+};
+
+/// Level-1 (+ backend split) TMA fractions; they sum to 1.
+struct TMAFractions {
+  double frontend_bound = 0.0;
+  double bad_speculation = 0.0;
+  double retiring = 0.0;
+  double core_bound = 0.0;    // backend: execution-unit saturation
+  double memory_bound = 0.0;  // backend: data-access stalls
+
+  [[nodiscard]] double backend_bound() const {
+    return core_bound + memory_bound;
+  }
+  [[nodiscard]] double sum() const {
+    return frontend_bound + bad_speculation + retiring + core_bound +
+           memory_bound;
+  }
+};
+
+struct Prediction {
+  TimeBreakdown breakdown;
+  double time_sec = 0.0;      ///< predicted wall time per repetition
+  TMAFractions tma;           ///< pipeline-slot attribution
+  double read_bw = 0.0;       ///< achieved read bandwidth, bytes/s
+  double write_bw = 0.0;      ///< achieved write bandwidth, bytes/s
+  double flop_rate = 0.0;     ///< achieved FLOP/s
+  double instructions = 0.0;  ///< modeled dynamic instructions per rep
+};
+
+/// Predict execution of one kernel repetition on a machine.
+[[nodiscard]] Prediction predict(const KernelTraits& traits,
+                                 const MachineModel& machine);
+
+/// Effective memory bandwidth for the kernel on the machine (bytes/s),
+/// including access-efficiency and cache-residency boosts.
+[[nodiscard]] double effective_bandwidth(const KernelTraits& traits,
+                                         const MachineModel& machine);
+
+/// Modeled dynamic instruction count per repetition.
+[[nodiscard]] double modeled_instructions(const KernelTraits& traits,
+                                          const MachineModel& machine);
+
+}  // namespace rperf::machine

@@ -1,0 +1,99 @@
+// Per-kernel structural traits consumed by the performance models.
+//
+// Every suite kernel publishes (a) exact analytic metrics — bytes read,
+// bytes written, floating-point operations per repetition, exactly as
+// RAJAPerf computes them — and (b) structural modeling fields describing
+// *how* the kernel exercises the hardware: instruction mix, branching,
+// atomics, available parallelism, access regularity, temporal locality.
+//
+// The analytic metrics are exact counts derived from the kernel definition.
+// The structural fields are modeling inputs for the simulated-machine
+// backend (see machine/predictor.hpp); they substitute for the PAPI / Nsight
+// Compute hardware counters the paper measures on real LLNL machines.
+#pragma once
+
+#include <cstdint>
+
+namespace rperf::machine {
+
+struct KernelTraits {
+  // ----- exact analytic metrics, per repetition (Fig 1 of the paper) -----
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+  double flops = 0.0;
+
+  // ----- instruction-mix model -----
+  /// Dynamic non-FP instructions per repetition (index math, loads/stores
+  /// as instructions, loop control). When 0, the predictor estimates it
+  /// from the analytic metrics.
+  double int_ops = 0.0;
+  /// Conditional branches per repetition.
+  double branches = 0.0;
+  /// Fraction of branches mispredicted (data-dependent control flow).
+  double mispredict_rate = 0.02;
+
+  // ----- synchronization -----
+  /// Atomic read-modify-write operations per repetition.
+  double atomics = 0.0;
+  /// Average number of execution streams contending per atomic address
+  /// (1 = uncontended, large = a single hot location such as PI_ATOMIC).
+  /// Separate per machine kind: the paper's CPU configuration runs one
+  /// sequential rank per core (private accumulators, no contention) while
+  /// the GPU configuration shares device-global accumulators across all
+  /// threads.
+  double atomic_contention_cpu = 1.0;
+  double atomic_contention_gpu = 1.0;
+
+  // ----- footprint and parallel structure -----
+  /// Resident working set in bytes (drives cache-level placement).
+  double working_set_bytes = 0.0;
+  /// Amdahl parallel fraction of the computation.
+  double parallel_fraction = 1.0;
+  /// Available fine-grained parallelism (independent work items). GPU
+  /// machines need ~10^5 to reach peak; line sweeps like Polybench ADI
+  /// expose far less.
+  double avg_parallelism = 1.0e9;
+
+  // ----- device-offload structure -----
+  /// Device kernel launches per repetition (Comm kernels launch many).
+  int launches_per_rep = 1;
+  /// Point-to-point messages per repetition and their total payload.
+  int messages_per_rep = 0;
+  double message_bytes = 0.0;
+
+  // ----- efficiency knobs, relative to machine-achievable rates -----
+  /// Memory-access efficiency: 1.0 = perfectly unit-stride / coalesced,
+  /// lower for strided, indirect, or transposed access.
+  double access_eff_cpu = 1.0;
+  double access_eff_gpu = 1.0;
+  /// Floating-point pipeline efficiency relative to the machine's dense
+  /// achieved rate (Basic_MAT_MAT_SHARED defines 1.0).
+  double fp_eff_cpu = 0.5;
+  double fp_eff_gpu = 0.5;
+
+  /// Fraction of the instruction stream the CPU compiler vectorizes
+  /// (1 = fully SIMD like STREAM, 0 = scalar like branchy FEM bodies).
+  /// GPUs are unaffected: every thread runs scalar code inside a warp.
+  double vector_fraction = 1.0;
+
+  // ----- frontend pressure -----
+  /// Instruction-footprint multiplier: 1.0 for small stream-like bodies,
+  /// larger for heavily templated / lambda-dense FEM kernels whose decode
+  /// and fetch costs the paper's TMA attributes to "frontend bound".
+  double code_complexity = 1.0;
+
+  // ----- GPU cache-locality model (drives NCU-style sector counts) -----
+  /// Fraction of L1 accesses served by L1 (temporal/spatial reuse).
+  double l1_hit = 0.0;
+  /// Fraction of L1 misses served by L2.
+  double l2_hit = 0.25;
+
+  [[nodiscard]] double bytes_total() const { return bytes_read + bytes_written; }
+  /// FLOPs per byte of memory touched (the paper's derived metric).
+  [[nodiscard]] double flops_per_byte() const {
+    const double b = bytes_total();
+    return b > 0.0 ? flops / b : 0.0;
+  }
+};
+
+}  // namespace rperf::machine

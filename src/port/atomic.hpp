@@ -1,0 +1,69 @@
+// Portable atomic read-modify-write operations.
+//
+// These wrap std::atomic_ref so kernels can express atomics on plain arrays
+// without changing storage types — matching how portability layers expose
+// `atomicAdd(&x[i], v)` across backends. All operations use relaxed memory
+// order: the kernels only need atomicity of the arithmetic, and each loop is
+// followed by an implicit barrier (end of parallel region) that publishes
+// results.
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+namespace rperf::port {
+
+template <typename T>
+inline T atomicAdd(T* address, T value) {
+  static_assert(std::atomic_ref<T>::is_always_lock_free,
+                "atomicAdd requires a lock-free atomic_ref");
+  return std::atomic_ref<T>(*address).fetch_add(value,
+                                                std::memory_order_relaxed);
+}
+
+template <typename T>
+inline T atomicSub(T* address, T value) {
+  return std::atomic_ref<T>(*address).fetch_sub(value,
+                                                std::memory_order_relaxed);
+}
+
+template <typename T>
+inline T atomicExchange(T* address, T value) {
+  return std::atomic_ref<T>(*address).exchange(value,
+                                               std::memory_order_relaxed);
+}
+
+/// Atomic min via compare-exchange loop; returns the previous value.
+template <typename T>
+inline T atomicMin(T* address, T value) {
+  std::atomic_ref<T> ref(*address);
+  T old = ref.load(std::memory_order_relaxed);
+  while (value < old &&
+         !ref.compare_exchange_weak(old, value, std::memory_order_relaxed)) {
+  }
+  return old;
+}
+
+/// Atomic max via compare-exchange loop; returns the previous value.
+template <typename T>
+inline T atomicMax(T* address, T value) {
+  std::atomic_ref<T> ref(*address);
+  T old = ref.load(std::memory_order_relaxed);
+  while (old < value &&
+         !ref.compare_exchange_weak(old, value, std::memory_order_relaxed)) {
+  }
+  return old;
+}
+
+/// fetch_add for floating point: atomic_ref supports it directly in C++20.
+inline double atomicAdd(double* address, double value) {
+  return std::atomic_ref<double>(*address).fetch_add(
+      value, std::memory_order_relaxed);
+}
+
+inline float atomicAdd(float* address, float value) {
+  return std::atomic_ref<float>(*address).fetch_add(value,
+                                                    std::memory_order_relaxed);
+}
+
+}  // namespace rperf::port

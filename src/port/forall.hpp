@@ -1,0 +1,116 @@
+// `forall`: the core loop-execution primitive of the rperf portability layer.
+//
+// Usage:
+//   forall<omp_parallel_for_exec>(RangeSegment(0, n),
+//                                 [=](Index_type i) { y[i] += a * x[i]; });
+//
+// The body receives one index per iteration. Dispatch is resolved at compile
+// time from the policy tag; there is no runtime overhead beyond the lambda
+// call itself (which the optimizer inlines for the sequential policies).
+#pragma once
+
+#include "port/policy.hpp"
+#include "port/range.hpp"
+
+namespace rperf::port {
+
+// ---------------------------------------------------------------- seq_exec
+template <typename Policy, typename Body>
+  requires std::is_same_v<Policy, seq_exec>
+inline void forall(const RangeSegment& seg, Body&& body) {
+  const Index_type begin = seg.begin();
+  const Index_type end = seg.end();
+  for (Index_type i = begin; i < end; ++i) {
+    body(i);
+  }
+}
+
+// --------------------------------------------------------------- simd_exec
+template <typename Policy, typename Body>
+  requires std::is_same_v<Policy, simd_exec>
+inline void forall(const RangeSegment& seg, Body&& body) {
+  const Index_type begin = seg.begin();
+  const Index_type end = seg.end();
+#pragma omp simd
+  for (Index_type i = begin; i < end; ++i) {
+    body(i);
+  }
+}
+
+// ------------------------------------------------- omp_parallel_for_exec
+template <typename Policy, typename Body>
+  requires std::is_same_v<Policy, omp_parallel_for_exec>
+inline void forall(const RangeSegment& seg, Body&& body) {
+  const Index_type begin = seg.begin();
+  const Index_type end = seg.end();
+#pragma omp parallel for
+  for (Index_type i = begin; i < end; ++i) {
+    body(i);
+  }
+}
+
+// -------------------------------------------- omp_parallel_for_simd_exec
+template <typename Policy, typename Body>
+  requires std::is_same_v<Policy, omp_parallel_for_simd_exec>
+inline void forall(const RangeSegment& seg, Body&& body) {
+  const Index_type begin = seg.begin();
+  const Index_type end = seg.end();
+#pragma omp parallel for simd
+  for (Index_type i = begin; i < end; ++i) {
+    body(i);
+  }
+}
+
+// ------------------------------------------------------ strided segments
+template <typename Policy, typename Body>
+  requires is_sequential_policy_v<Policy>
+inline void forall(const RangeStrideSegment& seg, Body&& body) {
+  const Index_type begin = seg.begin();
+  const Index_type end = seg.end();
+  const Index_type stride = seg.stride();
+  for (Index_type i = begin; i < end; i += stride) {
+    body(i);
+  }
+}
+
+template <typename Policy, typename Body>
+  requires is_openmp_policy_v<Policy>
+inline void forall(const RangeStrideSegment& seg, Body&& body) {
+  const Index_type begin = seg.begin();
+  const Index_type stride = seg.stride();
+  const Index_type count = seg.size();
+#pragma omp parallel for
+  for (Index_type k = 0; k < count; ++k) {
+    body(begin + k * stride);
+  }
+}
+
+// --------------------------------------------------------- list segments
+template <typename Policy, typename Body>
+  requires is_sequential_policy_v<Policy>
+inline void forall(const ListSegment& seg, Body&& body) {
+  const Index_type* idx = seg.data();
+  const Index_type n = seg.size();
+  for (Index_type k = 0; k < n; ++k) {
+    body(idx[k]);
+  }
+}
+
+template <typename Policy, typename Body>
+  requires is_openmp_policy_v<Policy>
+inline void forall(const ListSegment& seg, Body&& body) {
+  const Index_type* idx = seg.data();
+  const Index_type n = seg.size();
+#pragma omp parallel for
+  for (Index_type k = 0; k < n; ++k) {
+    body(idx[k]);
+  }
+}
+
+// Convenience: forall over [0, n).
+template <typename Policy, typename Body>
+inline void forall_n(Index_type n, Body&& body) {
+  forall<Policy>(RangeSegment(0, n), std::forward<Body>(body));
+}
+
+}  // namespace rperf::port

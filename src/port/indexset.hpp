@@ -1,0 +1,56 @@
+// TypedIndexSet — a heterogeneous collection of iteration segments.
+//
+// Mirrors RAJA's IndexSet: application meshes are often described as a few
+// contiguous ranges (structured interior) plus irregular index lists
+// (boundaries, mixed-material zones). An IndexSet executes all of them
+// under one `forall`, preserving segment order under sequential policies.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "port/forall.hpp"
+#include "port/range.hpp"
+
+namespace rperf::port {
+
+class TypedIndexSet {
+ public:
+  using Segment = std::variant<RangeSegment, RangeStrideSegment, ListSegment>;
+
+  TypedIndexSet() = default;
+
+  void push_back(RangeSegment seg) { segments_.emplace_back(seg); }
+  void push_back(RangeStrideSegment seg) { segments_.emplace_back(seg); }
+  void push_back(ListSegment seg) { segments_.emplace_back(std::move(seg)); }
+
+  [[nodiscard]] std::size_t num_segments() const { return segments_.size(); }
+  [[nodiscard]] const Segment& segment(std::size_t i) const {
+    return segments_.at(i);
+  }
+
+  /// Total number of iterations across all segments.
+  [[nodiscard]] Index_type size() const {
+    Index_type total = 0;
+    for (const auto& s : segments_) {
+      std::visit([&](const auto& seg) { total += seg.size(); }, s);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+/// Execute the body over every segment of the index set, segment by
+/// segment, each under the given policy.
+template <typename Policy, typename Body>
+inline void forall(const TypedIndexSet& iset, Body&& body) {
+  for (std::size_t s = 0; s < iset.num_segments(); ++s) {
+    std::visit(
+        [&](const auto& seg) { forall<Policy>(seg, body); },
+        iset.segment(s));
+  }
+}
+
+}  // namespace rperf::port

@@ -1,0 +1,73 @@
+// Iteration-space segments for the rperf portability layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rperf::port {
+
+using Index_type = std::int64_t;
+
+/// Contiguous half-open index range [begin, end).
+class RangeSegment {
+ public:
+  constexpr RangeSegment(Index_type begin, Index_type end)
+      : begin_(begin), end_(end < begin ? begin : end) {}
+
+  [[nodiscard]] constexpr Index_type begin() const { return begin_; }
+  [[nodiscard]] constexpr Index_type end() const { return end_; }
+  [[nodiscard]] constexpr Index_type size() const { return end_ - begin_; }
+
+ private:
+  Index_type begin_;
+  Index_type end_;
+};
+
+/// Strided half-open index range: begin, begin+stride, ... < end.
+class RangeStrideSegment {
+ public:
+  RangeStrideSegment(Index_type begin, Index_type end, Index_type stride)
+      : begin_(begin), end_(end), stride_(stride) {
+    if (stride <= 0) {
+      throw std::invalid_argument("RangeStrideSegment: stride must be > 0");
+    }
+    if (end_ < begin_) end_ = begin_;
+  }
+
+  [[nodiscard]] Index_type begin() const { return begin_; }
+  [[nodiscard]] Index_type end() const { return end_; }
+  [[nodiscard]] Index_type stride() const { return stride_; }
+  [[nodiscard]] Index_type size() const {
+    return (end_ - begin_ + stride_ - 1) / stride_;
+  }
+
+ private:
+  Index_type begin_;
+  Index_type end_;
+  Index_type stride_;
+};
+
+/// Explicit list of indices, in iteration order (may repeat, any order).
+class ListSegment {
+ public:
+  ListSegment() = default;
+  explicit ListSegment(std::vector<Index_type> indices)
+      : indices_(std::move(indices)) {}
+  ListSegment(const Index_type* data, std::size_t count)
+      : indices_(data, data + count) {}
+
+  [[nodiscard]] Index_type size() const {
+    return static_cast<Index_type>(indices_.size());
+  }
+  [[nodiscard]] const Index_type* data() const { return indices_.data(); }
+  [[nodiscard]] Index_type operator[](Index_type i) const {
+    return indices_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<Index_type> indices_;
+};
+
+}  // namespace rperf::port

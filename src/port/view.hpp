@@ -1,0 +1,115 @@
+// Multi-dimensional data views for the rperf portability layer.
+//
+// A `Layout<N>` maps an N-dimensional index tuple to a linear offset using
+// row-major strides over a given extent, optionally with a dimension
+// permutation (to express e.g. column-major or tiled storage orders). A
+// `View<T, N>` binds a layout to a raw pointer and provides operator()
+// indexing. Views are non-owning; kernels allocate flat buffers and wrap
+// them, exactly as RAJA kernels do.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+
+#include "port/range.hpp"
+
+namespace rperf::port {
+
+template <std::size_t N>
+class Layout {
+ public:
+  Layout() = default;
+
+  /// Row-major layout: last extent varies fastest.
+  template <typename... Extents>
+    requires(sizeof...(Extents) == N)
+  explicit Layout(Extents... extents)
+      : extents_{static_cast<Index_type>(extents)...} {
+    std::array<std::size_t, N> perm;
+    for (std::size_t d = 0; d < N; ++d) perm[d] = d;
+    compute_strides(perm);
+  }
+
+  /// Permuted layout: `perm[0]` is the slowest-varying dimension and
+  /// `perm[N-1]` the fastest. The identity permutation is row-major.
+  Layout(const std::array<Index_type, N>& extents,
+         const std::array<std::size_t, N>& perm)
+      : extents_(extents) {
+    validate_permutation(perm);
+    compute_strides(perm);
+  }
+
+  template <typename... Indices>
+    requires(sizeof...(Indices) == N)
+  [[nodiscard]] Index_type operator()(Indices... indices) const {
+    const std::array<Index_type, N> idx{static_cast<Index_type>(indices)...};
+    Index_type offset = 0;
+    for (std::size_t d = 0; d < N; ++d) offset += idx[d] * strides_[d];
+    return offset;
+  }
+
+  [[nodiscard]] Index_type extent(std::size_t dim) const {
+    return extents_[dim];
+  }
+  [[nodiscard]] Index_type stride(std::size_t dim) const {
+    return strides_[dim];
+  }
+  [[nodiscard]] Index_type size() const {
+    Index_type s = 1;
+    for (auto e : extents_) s *= e;
+    return s;
+  }
+
+ private:
+  void compute_strides(const std::array<std::size_t, N>& perm) {
+    // perm lists dims slowest→fastest; accumulate strides from the fastest.
+    Index_type running = 1;
+    for (std::size_t k = N; k-- > 0;) {
+      strides_[perm[k]] = running;
+      running *= extents_[perm[k]];
+    }
+  }
+
+  static void validate_permutation(const std::array<std::size_t, N>& perm) {
+    std::array<bool, N> seen{};
+    for (auto p : perm) {
+      if (p >= N || seen[p]) {
+        throw std::invalid_argument("Layout: invalid permutation");
+      }
+      seen[p] = true;
+    }
+  }
+
+  std::array<Index_type, N> extents_{};
+  std::array<Index_type, N> strides_{};
+};
+
+template <typename T, std::size_t N>
+class View {
+ public:
+  View() = default;
+  View(T* data, Layout<N> layout) : data_(data), layout_(layout) {}
+
+  /// Convenience: row-major view from extents.
+  template <typename... Extents>
+    requires(sizeof...(Extents) == N)
+  View(T* data, Extents... extents)
+      : data_(data), layout_(extents...) {}
+
+  template <typename... Indices>
+    requires(sizeof...(Indices) == N)
+  [[nodiscard]] T& operator()(Indices... indices) const {
+    return data_[layout_(indices...)];
+  }
+
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] const Layout<N>& layout() const { return layout_; }
+
+ private:
+  T* data_ = nullptr;
+  Layout<N> layout_{};
+};
+
+}  // namespace rperf::port

@@ -1,0 +1,87 @@
+#include "suite/data_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace rperf::suite {
+
+namespace {
+
+/// Minimal LCG (numerical recipes constants); not for statistics, only for
+/// reproducible, platform-independent fill data.
+class Lcg {
+ public:
+  explicit Lcg(std::uint32_t seed) : state_(seed ? seed : 1u) {}
+  std::uint32_t next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_;
+  }
+  double next_unit() {
+    return (static_cast<double>(next() >> 8) + 0.5) / 16777216.0;
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace
+
+void init_data(std::vector<double>& v, Index_type n, std::uint32_t seed) {
+  v.resize(static_cast<std::size_t>(n));
+  Lcg rng(seed);
+  for (auto& x : v) x = rng.next_unit();
+}
+
+void init_data_const(std::vector<double>& v, Index_type n, double value) {
+  v.assign(static_cast<std::size_t>(n), value);
+}
+
+void init_data_ramp(std::vector<double>& v, Index_type n, double lo,
+                    double hi) {
+  v.resize(static_cast<std::size_t>(n));
+  const double step = n > 0 ? (hi - lo) / static_cast<double>(n) : 0.0;
+  for (Index_type i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = lo + static_cast<double>(i) * step;
+  }
+}
+
+void init_int_data(std::vector<int>& v, Index_type n, int lo, int hi,
+                   std::uint32_t seed) {
+  v.resize(static_cast<std::size_t>(n));
+  Lcg rng(seed);
+  const std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;
+  for (auto& x : v) {
+    x = lo + static_cast<int>(rng.next() % span);
+  }
+}
+
+long double calc_checksum(const double* data, Index_type n) {
+  long double sum = 0.0L;
+  for (Index_type i = 0; i < n; ++i) {
+    sum += static_cast<long double>(data[i]) *
+           static_cast<long double>((i % 7) + 1);
+  }
+  return sum;
+}
+
+long double calc_checksum(const std::vector<double>& data) {
+  return calc_checksum(data.data(), static_cast<Index_type>(data.size()));
+}
+
+long double calc_checksum(const int* data, Index_type n) {
+  long double sum = 0.0L;
+  for (Index_type i = 0; i < n; ++i) {
+    sum += static_cast<long double>(data[i]) *
+           static_cast<long double>((i % 7) + 1);
+  }
+  return sum;
+}
+
+bool checksums_match(long double a, long double b, double rel_tol) {
+  const long double diff = std::fabs(a - b);
+  const long double scale = std::max({std::fabs(a), std::fabs(b), 1.0L});
+  return diff <= static_cast<long double>(rel_tol) * scale;
+}
+
+}  // namespace rperf::suite

@@ -1,0 +1,40 @@
+// Deterministic data initialization and checksum helpers.
+//
+// All variants of a kernel must see bit-identical input data so their
+// checksums can be compared; initialization therefore uses a fixed-seed
+// linear congruential generator rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "suite/types.hpp"
+
+namespace rperf::suite {
+
+/// Deterministic uniform doubles in (0, 1).
+void init_data(std::vector<double>& v, Index_type n, std::uint32_t seed = 7u);
+
+/// Fill with a constant.
+void init_data_const(std::vector<double>& v, Index_type n, double value);
+
+/// Linear ramp: v[i] = lo + i * (hi - lo) / n.
+void init_data_ramp(std::vector<double>& v, Index_type n, double lo,
+                    double hi);
+
+/// Deterministic uniform integers in [lo, hi].
+void init_int_data(std::vector<int>& v, Index_type n, int lo, int hi,
+                   std::uint32_t seed = 7u);
+
+/// Order-stable weighted checksum: sum of data[i] * w(i) with a small
+/// repeating weight so permutations of the data are (almost surely)
+/// detected. Accumulates in long double.
+[[nodiscard]] long double calc_checksum(const double* data, Index_type n);
+[[nodiscard]] long double calc_checksum(const std::vector<double>& data);
+[[nodiscard]] long double calc_checksum(const int* data, Index_type n);
+
+/// Relative agreement test used for cross-variant validation.
+[[nodiscard]] bool checksums_match(long double a, long double b,
+                                   double rel_tol);
+
+}  // namespace rperf::suite

@@ -1,0 +1,165 @@
+#include "suite/executor.hpp"
+
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+
+#include "suite/data_utils.hpp"
+
+namespace rperf::suite {
+
+Executor::Executor(RunParams params) : params_(std::move(params)) {
+  kernels_ = make_kernels(params_);
+}
+
+void Executor::run() {
+  results_.clear();
+  channels_.clear();
+  for (auto& kernel : kernels_) {
+    for (VariantID vid : kernel->variants()) {
+      if (!params_.wants_variant(vid)) continue;
+      for (std::size_t tuning = 0; tuning < kernel->num_tunings();
+           ++tuning) {
+        if (!params_.run_tunings && tuning > 0) continue;
+        const std::string& tname = kernel->tunings()[tuning];
+        cali::Channel& channel = channels_[{vid, tname}];
+        kernel->execute(vid, tuning, channel);
+        RunResult r;
+        r.kernel = kernel->name();
+        r.group = kernel->group();
+        r.variant = vid;
+        r.tuning = tuning;
+        r.tuning_name = tname;
+        r.time_per_rep_sec = kernel->time_per_rep(vid, tuning);
+        r.checksum = kernel->checksum(vid, tuning);
+        r.problem_size = kernel->actual_prob_size();
+        r.reps = kernel->run_reps();
+        results_.push_back(r);
+      }
+    }
+  }
+  // Run-level metadata (the Adiak substitute).
+  for (auto& [key, channel] : channels_) {
+    channel.set_metadata("variant", to_string(key.first));
+    channel.set_metadata("tuning", key.second);
+    channel.set_metadata("suite", "rajaperf-repro");
+    channel.set_metadata("size_factor", params_.size_factor);
+    for (const auto& [k, v] : params_.metadata) {
+      channel.set_metadata(k, v);
+    }
+  }
+}
+
+KernelBase* Executor::find_kernel(const std::string& name) const {
+  for (const auto& k : kernels_) {
+    if (k->name() == name) return k.get();
+  }
+  return nullptr;
+}
+
+std::vector<cali::Profile> Executor::profiles() const {
+  std::vector<cali::Profile> out;
+  out.reserve(channels_.size());
+  for (const auto& [key, channel] : channels_) {
+    out.push_back(cali::to_profile(channel));
+  }
+  return out;
+}
+
+void Executor::write_profiles() const {
+  if (params_.output_dir.empty()) return;
+  std::filesystem::create_directories(params_.output_dir);
+  for (const auto& [key, channel] : channels_) {
+    const std::string path = params_.output_dir + "/" +
+                             to_string(key.first) + "." + key.second +
+                             ".cali.json";
+    cali::write_profile(channel, path);
+  }
+}
+
+std::string Executor::timing_report() const {
+  // Collect executed variants in enum order (tuning 0 / "default").
+  std::vector<VariantID> vids;
+  for (const auto& [key, channel] : channels_) {
+    if (key.second == "default") vids.push_back(key.first);
+  }
+
+  std::ostringstream os;
+  os << std::left << std::setw(32) << "Kernel";
+  for (VariantID v : vids) os << std::right << std::setw(16) << to_string(v);
+  os << '\n';
+  for (const auto& kernel : kernels_) {
+    os << std::left << std::setw(32) << kernel->name();
+    for (VariantID v : vids) {
+      if (kernel->was_run(v)) {
+        os << std::right << std::setw(16) << std::scientific
+           << std::setprecision(3) << kernel->time_per_rep(v);
+      } else {
+        os << std::right << std::setw(16) << "--";
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Executor::checksum_report() const {
+  std::vector<VariantID> vids;
+  for (const auto& [key, channel] : channels_) {
+    if (key.second == "default") vids.push_back(key.first);
+  }
+
+  std::ostringstream os;
+  os << std::left << std::setw(32) << "Kernel";
+  for (VariantID v : vids) os << std::right << std::setw(22) << to_string(v);
+  os << '\n';
+  for (const auto& kernel : kernels_) {
+    os << std::left << std::setw(32) << kernel->name();
+    for (VariantID v : vids) {
+      if (kernel->was_run(v)) {
+        os << std::right << std::setw(22) << std::scientific
+           << std::setprecision(12)
+           << static_cast<double>(kernel->checksum(v));
+      } else {
+        os << std::right << std::setw(22) << "--";
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool Executor::checksums_consistent(std::string* details) const {
+  // Variants of a kernel must agree within each tuning (different tunings
+  // may legitimately compute different configurations).
+  bool ok = true;
+  std::ostringstream os;
+  for (const auto& kernel : kernels_) {
+    for (std::size_t tuning = 0; tuning < kernel->num_tunings(); ++tuning) {
+      long double reference = 0.0L;
+      bool have_reference = false;
+      VariantID ref_vid = VariantID::Base_Seq;
+      for (VariantID v : kernel->variants()) {
+        if (!kernel->was_run(v, tuning)) continue;
+        if (!have_reference) {
+          reference = kernel->checksum(v, tuning);
+          ref_vid = v;
+          have_reference = true;
+          continue;
+        }
+        const long double cs = kernel->checksum(v, tuning);
+        if (!checksums_match(reference, cs, params_.checksum_tolerance)) {
+          ok = false;
+          os << kernel->name() << " [" << kernel->tunings()[tuning]
+             << "]: " << to_string(ref_vid) << "="
+             << static_cast<double>(reference) << " vs " << to_string(v)
+             << "=" << static_cast<double>(cs) << '\n';
+        }
+      }
+    }
+  }
+  if (details != nullptr) *details = os.str();
+  return ok;
+}
+
+}  // namespace rperf::suite

@@ -1,0 +1,73 @@
+// Executor — drives a suite run: kernel x variant sweep, Caliper-substitute
+// profiling, checksum validation, and text reports.
+//
+// Mirroring the paper's integration, one profile is produced per variant
+// (one RAJAPerf run = one variant + one tuning), each containing a region
+// per kernel with attributed analytic metrics and run metadata.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instrument/channel.hpp"
+#include "instrument/profile.hpp"
+#include "suite/kernel_base.hpp"
+#include "suite/registry.hpp"
+#include "suite/run_params.hpp"
+
+namespace rperf::suite {
+
+struct RunResult {
+  std::string kernel;
+  GroupID group = GroupID::Basic;
+  VariantID variant = VariantID::Base_Seq;
+  std::size_t tuning = 0;
+  std::string tuning_name = "default";
+  double time_per_rep_sec = -1.0;
+  long double checksum = 0.0L;
+  Index_type problem_size = 0;
+  Index_type reps = 0;
+};
+
+class Executor {
+ public:
+  explicit Executor(RunParams params);
+
+  /// Run every (kernel, variant) pair passing the filters.
+  void run();
+
+  [[nodiscard]] const std::vector<RunResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<KernelBase>>& kernels()
+      const {
+    return kernels_;
+  }
+  [[nodiscard]] KernelBase* find_kernel(const std::string& name) const;
+
+  /// One profile per executed (variant, tuning), with metadata — exactly
+  /// the paper's "a single RAJAPerf run generates a Caliper profile
+  /// containing one variant and one tuning".
+  [[nodiscard]] std::vector<cali::Profile> profiles() const;
+  /// Write profiles to params.output_dir as <variant>.<tuning>.cali.json.
+  void write_profiles() const;
+
+  /// Per-kernel timing table across variants (seconds per repetition).
+  [[nodiscard]] std::string timing_report() const;
+  /// Per-kernel checksum table across variants.
+  [[nodiscard]] std::string checksum_report() const;
+  /// True when all variants of every kernel agree within tolerance;
+  /// details (when non-null) receives a description of mismatches.
+  [[nodiscard]] bool checksums_consistent(std::string* details) const;
+
+ private:
+  RunParams params_;
+  std::vector<std::unique_ptr<KernelBase>> kernels_;
+  /// Keyed by (variant, tuning name).
+  std::map<std::pair<VariantID, std::string>, cali::Channel> channels_;
+  std::vector<RunResult> results_;
+};
+
+}  // namespace rperf::suite

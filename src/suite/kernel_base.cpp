@@ -1,0 +1,144 @@
+#include "suite/kernel_base.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace rperf::suite {
+
+KernelBase::KernelBase(std::string base_name, GroupID group,
+                       const RunParams& params)
+    : base_name_(std::move(base_name)),
+      name_(to_string(group) + "_" + base_name_),
+      group_(group),
+      params_(params) {}
+
+std::vector<FeatureID> KernelBase::features() const {
+  std::vector<FeatureID> out;
+  for (FeatureID f :
+       {FeatureID::Forall, FeatureID::Kernel, FeatureID::Sort,
+        FeatureID::Scan, FeatureID::Reduction, FeatureID::Atomic,
+        FeatureID::View, FeatureID::Workgroup}) {
+    if (has_feature(f)) out.push_back(f);
+  }
+  return out;
+}
+
+bool KernelBase::has_variant(VariantID v) const {
+  return std::find(variants_.begin(), variants_.end(), v) != variants_.end();
+}
+
+std::vector<VariantID> KernelBase::variants() const { return variants_; }
+
+void KernelBase::add_variant(VariantID v) {
+  if (!has_variant(v)) variants_.push_back(v);
+}
+
+void KernelBase::add_all_variants() {
+  for (VariantID v : all_variants()) add_variant(v);
+}
+
+void KernelBase::add_tuning(const std::string& name) {
+  for (const auto& t : tunings_) {
+    if (t == name) {
+      throw std::invalid_argument(name_ + ": duplicate tuning " + name);
+    }
+  }
+  tunings_.push_back(name);
+}
+
+void KernelBase::set_default_size(Index_type n) {
+  default_size_ = n;
+  finalize_sizing();
+}
+
+void KernelBase::set_default_reps(Index_type reps) {
+  default_reps_ = reps;
+  finalize_sizing();
+}
+
+void KernelBase::finalize_sizing() {
+  if (params_.size_override.has_value()) {
+    actual_size_ = *params_.size_override;
+  } else {
+    actual_size_ = static_cast<Index_type>(
+        std::llround(static_cast<double>(default_size_) *
+                     params_.size_factor));
+  }
+  actual_size_ = std::max<Index_type>(1, actual_size_);
+
+  reps_ = static_cast<Index_type>(std::llround(
+      static_cast<double>(default_reps_) * params_.reps_factor));
+  reps_ = std::clamp(reps_, params_.min_reps, params_.max_reps);
+  sized_ = true;
+}
+
+void KernelBase::execute(VariantID vid, std::size_t tuning,
+                         cali::Channel& channel) {
+  if (!has_variant(vid)) {
+    throw std::invalid_argument(name_ + ": variant " + to_string(vid) +
+                                " not available");
+  }
+  if (tuning >= tunings_.size()) {
+    throw std::invalid_argument(name_ + ": no tuning index " +
+                                std::to_string(tuning));
+  }
+  if (!sized_) finalize_sizing();
+  tuning_ = tuning;
+
+  using Clock = std::chrono::steady_clock;
+  double best = -1.0;
+  long double csum = 0.0L;
+
+  for (int pass = 0; pass < std::max(1, params_.npasses); ++pass) {
+    setUp(vid);
+    {
+      cali::ScopedRegion region(channel, name_);
+      const auto start = Clock::now();
+      runVariant(vid);
+      const auto stop = Clock::now();
+      const double elapsed =
+          std::chrono::duration<double>(stop - start).count();
+      const double per_rep = elapsed / static_cast<double>(reps_);
+      if (best < 0.0 || per_rep < best) best = per_rep;
+
+      // Attribute the paper's analytic metrics to the kernel region.
+      const auto& t = traits_;
+      channel.attribute_metric("reps", static_cast<double>(reps_));
+      channel.attribute_metric("bytes_read",
+                               t.bytes_read * static_cast<double>(reps_));
+      channel.attribute_metric("bytes_written",
+                               t.bytes_written * static_cast<double>(reps_));
+      channel.attribute_metric("flops",
+                               t.flops * static_cast<double>(reps_));
+      channel.attribute_metric("problem_size",
+                               static_cast<double>(actual_size_));
+    }
+    csum = computeChecksum(vid);
+    tearDown(vid);
+  }
+
+  time_per_rep_[{vid, tuning}] = best;
+  checksums_[{vid, tuning}] = csum;
+}
+
+void KernelBase::execute(VariantID vid) {
+  execute(vid, cali::default_channel());
+}
+
+double KernelBase::time_per_rep(VariantID vid, std::size_t tuning) const {
+  auto it = time_per_rep_.find({vid, tuning});
+  return it == time_per_rep_.end() ? -1.0 : it->second;
+}
+
+long double KernelBase::checksum(VariantID vid, std::size_t tuning) const {
+  auto it = checksums_.find({vid, tuning});
+  return it == checksums_.end() ? 0.0L : it->second;
+}
+
+bool KernelBase::was_run(VariantID vid, std::size_t tuning) const {
+  return time_per_rep_.count({vid, tuning}) > 0;
+}
+
+}  // namespace rperf::suite

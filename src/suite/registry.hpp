@@ -1,0 +1,29 @@
+// Kernel registry: canonical Table I ordering and factory functions.
+//
+// The registry is populated explicitly (not via static initializers, which
+// archive linkers silently drop) in src/kernels/registry.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "suite/kernel_base.hpp"
+#include "suite/run_params.hpp"
+
+namespace rperf::suite {
+
+/// All kernel full names (e.g. "Stream_TRIAD") in Table I order.
+[[nodiscard]] const std::vector<std::string>& all_kernel_names();
+
+/// Instantiate one kernel by full name; throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] std::unique_ptr<KernelBase> make_kernel(
+    const std::string& name, const RunParams& params);
+
+/// Instantiate every kernel that passes the params' kernel/group filters,
+/// in Table I order.
+[[nodiscard]] std::vector<std::unique_ptr<KernelBase>> make_kernels(
+    const RunParams& params);
+
+}  // namespace rperf::suite

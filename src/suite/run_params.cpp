@@ -1,0 +1,86 @@
+#include "suite/run_params.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rperf::suite {
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+RunParams RunParams::parse(int argc, const char* const* argv) {
+  RunParams p;
+  auto need_value = [&](int i, const std::string& flag) {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    return std::string(argv[i + 1]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--size-factor") {
+      p.size_factor = std::stod(need_value(i, arg));
+      ++i;
+    } else if (arg == "--size") {
+      p.size_override = static_cast<Index_type>(std::stoll(need_value(i, arg)));
+      ++i;
+    } else if (arg == "--reps-factor") {
+      p.reps_factor = std::stod(need_value(i, arg));
+      ++i;
+    } else if (arg == "--npasses") {
+      p.npasses = std::stoi(need_value(i, arg));
+      ++i;
+    } else if (arg == "--kernels") {
+      p.kernel_filter = split_csv(need_value(i, arg));
+      ++i;
+    } else if (arg == "--groups") {
+      for (const auto& g : split_csv(need_value(i, arg))) {
+        p.group_filter.push_back(group_from_string(g));
+      }
+      ++i;
+    } else if (arg == "--variants") {
+      for (const auto& v : split_csv(need_value(i, arg))) {
+        p.variant_filter.push_back(variant_from_string(v));
+      }
+      ++i;
+    } else if (arg == "--outdir") {
+      p.output_dir = need_value(i, arg);
+      ++i;
+    } else if (arg == "--tunings") {
+      p.run_tunings = true;
+    } else {
+      throw std::invalid_argument("unknown argument: " + arg);
+    }
+  }
+  if (p.size_factor <= 0.0) {
+    throw std::invalid_argument("--size-factor must be > 0");
+  }
+  if (p.npasses < 1) throw std::invalid_argument("--npasses must be >= 1");
+  return p;
+}
+
+std::string RunParams::usage() {
+  return "options:\n"
+         "  --size-factor F   scale each kernel's default problem size\n"
+         "  --size N          override problem size for all kernels\n"
+         "  --reps-factor F   scale each kernel's default repetitions\n"
+         "  --npasses N       measurement passes (report the minimum)\n"
+         "  --kernels A,B     run only the named kernels\n"
+         "  --groups G,H      run only the named groups\n"
+         "  --variants V,W    run only the named variants\n"
+         "  --tunings         run every registered tuning per kernel\n"
+         "  --outdir DIR      write one .cali.json profile per variant\n";
+}
+
+}  // namespace rperf::suite

@@ -1,0 +1,79 @@
+// Runtime parameters controlling a suite run (the RAJAPerf command line).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "suite/types.hpp"
+
+namespace rperf::suite {
+
+struct RunParams {
+  /// Multiplier on each kernel's default problem size.
+  double size_factor = 1.0;
+  /// Override problem size outright (ignores size_factor when set).
+  std::optional<Index_type> size_override;
+  /// Multiplier on each kernel's default repetition count.
+  double reps_factor = 1.0;
+  /// Hard floor/ceiling on repetitions after scaling.
+  Index_type min_reps = 1;
+  Index_type max_reps = 1000000;
+  /// Number of measurement passes; the reported time is the minimum.
+  int npasses = 1;
+
+  /// Run only these kernels (full names, e.g. "Stream_TRIAD"); empty = all.
+  std::vector<std::string> kernel_filter;
+  /// Run only these groups; empty = all.
+  std::vector<GroupID> group_filter;
+  /// Run only these variants; empty = all available per kernel.
+  std::vector<VariantID> variant_filter;
+  /// Run only kernels exercising this feature.
+  std::optional<FeatureID> feature_filter;
+  /// Run every registered tuning of each kernel (default: only "default").
+  bool run_tunings = false;
+
+  /// Directory for .cali.json profiles; empty = don't write.
+  std::string output_dir;
+  /// Extra metadata recorded in every profile.
+  std::vector<std::pair<std::string, std::string>> metadata;
+
+  /// Relative tolerance for cross-variant checksum agreement.
+  double checksum_tolerance = 1e-7;
+
+  [[nodiscard]] bool wants_kernel(const std::string& name) const {
+    if (kernel_filter.empty()) return true;
+    for (const auto& k : kernel_filter) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool wants_group(GroupID g) const {
+    if (group_filter.empty()) return true;
+    for (GroupID f : group_filter) {
+      if (f == g) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool wants_variant(VariantID v) const {
+    if (variant_filter.empty()) return true;
+    for (VariantID f : variant_filter) {
+      if (f == v) return true;
+    }
+    return false;
+  }
+
+  /// Parse RAJAPerf-style command-line arguments:
+  ///   --size-factor F  --size N  --reps-factor F  --npasses N
+  ///   --kernels A,B    --groups G,H  --variants V,W  --outdir DIR
+  ///   --tunings        (run all registered tunings)
+  /// Throws std::invalid_argument on malformed input.
+  static RunParams parse(int argc, const char* const* argv);
+
+  /// Usage text for executables embedding the suite.
+  static std::string usage();
+};
+
+}  // namespace rperf::suite

@@ -1,0 +1,305 @@
+// Tests for the mini message-passing substrate and the halo topology.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "comm/halo.hpp"
+#include "comm/minicomm.hpp"
+
+namespace {
+
+using namespace rperf::comm;
+
+// ---------------------------------------------------------------- MiniComm
+
+TEST(MiniComm, RejectsBadRankCount) {
+  EXPECT_THROW(MiniComm(0), std::invalid_argument);
+}
+
+TEST(MiniComm, PingPongBetweenTwoRanks) {
+  MiniComm comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, {1.0, 2.0, 3.0});
+      const auto reply = ctx.recv(1, 8);
+      ASSERT_EQ(reply.size(), 1u);
+      EXPECT_DOUBLE_EQ(reply[0], 6.0);
+    } else {
+      const auto msg = ctx.recv(0, 7);
+      double sum = std::accumulate(msg.begin(), msg.end(), 0.0);
+      ctx.send(0, 8, {sum});
+    }
+  });
+}
+
+TEST(MiniComm, MatchedReceiveBySourceAndTag) {
+  // Rank 2 receives two messages from rank 0 out of order by tag.
+  MiniComm comm(3);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(2, 1, {111.0});
+      ctx.send(2, 2, {222.0});
+    } else if (ctx.rank() == 1) {
+      ctx.send(2, 1, {333.0});
+    } else {
+      EXPECT_DOUBLE_EQ(ctx.recv(0, 2)[0], 222.0);
+      EXPECT_DOUBLE_EQ(ctx.recv(1, 1)[0], 333.0);
+      EXPECT_DOUBLE_EQ(ctx.recv(0, 1)[0], 111.0);
+    }
+  });
+}
+
+TEST(MiniComm, SendrecvIsDeadlockFreeInRing) {
+  const int n = 8;
+  MiniComm comm(n);
+  comm.run([n](RankContext& ctx) {
+    const int next = (ctx.rank() + 1) % n;
+    const int prev = (ctx.rank() + n - 1) % n;
+    const double payload = static_cast<double>(ctx.rank());
+    ctx.send(next, 0, &payload, 1);
+    const auto got = ctx.recv(prev, 0);
+    EXPECT_DOUBLE_EQ(got[0], static_cast<double>(prev));
+  });
+}
+
+TEST(MiniComm, BarrierSynchronizesPhases) {
+  const int n = 6;
+  MiniComm comm(n);
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  comm.run([&](RankContext& ctx) {
+    phase_one.fetch_add(1);
+    ctx.barrier();
+    // After the barrier every rank must have completed phase one.
+    if (phase_one.load() != n) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MiniComm, AllreduceSumsAcrossRanks) {
+  const int n = 7;
+  MiniComm comm(n);
+  comm.run([n](RankContext& ctx) {
+    const double total =
+        ctx.allreduce_sum(static_cast<double>(ctx.rank() + 1));
+    EXPECT_DOUBLE_EQ(total, n * (n + 1) / 2.0);
+    // A second allreduce must work (state is reset).
+    EXPECT_DOUBLE_EQ(ctx.allreduce_sum(1.0), static_cast<double>(n));
+  });
+}
+
+TEST(MiniComm, RankExceptionsPropagate) {
+  MiniComm comm(2);
+  EXPECT_THROW(comm.run([](RankContext& ctx) {
+                 if (ctx.rank() == 1) throw std::runtime_error("rank 1 died");
+                 // Rank 0 must not deadlock waiting for rank 1 here.
+               }),
+               std::runtime_error);
+}
+
+TEST(MiniComm, InvalidDestinationThrows) {
+  MiniComm comm(2);
+  EXPECT_THROW(comm.run([](RankContext& ctx) {
+                 if (ctx.rank() == 0) ctx.send(5, 0, {1.0});
+               }),
+               std::out_of_range);
+}
+
+TEST(MiniComm, NonblockingRecvCompletesOnArrival) {
+  MiniComm comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      Request req = ctx.irecv(1, 5);
+      ctx.send(1, 9, {1.0});  // signal rank 1 to send
+      const auto payload = req.wait();
+      ASSERT_EQ(payload.size(), 2u);
+      EXPECT_DOUBLE_EQ(payload[0], 3.0);
+      // wait() is idempotent.
+      EXPECT_EQ(req.wait().size(), 2u);
+      EXPECT_TRUE(req.test());
+    } else {
+      (void)ctx.recv(0, 9);
+      ctx.isend(0, 5, {3.0, 4.0}).wait();
+    }
+  });
+}
+
+TEST(MiniComm, TestIsNonblockingBeforeArrival) {
+  MiniComm comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      Request req = ctx.irecv(1, 1);
+      // Nothing sent yet from our side of the handshake: test must not
+      // hang (it may race true if rank 1 was fast, so only check that it
+      // returns).
+      (void)req.test();
+      ctx.send(1, 2, {0.0});
+      (void)req.wait();
+    } else {
+      (void)ctx.recv(0, 2);
+      ctx.send(0, 1, {42.0});
+    }
+  });
+}
+
+TEST(MiniComm, WaitAllGathersHaloPayloads) {
+  const int n = 4;
+  MiniComm comm(n);
+  comm.run([n](RankContext& ctx) {
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == ctx.rank()) continue;
+      reqs.push_back(ctx.irecv(peer, 3));
+    }
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == ctx.rank()) continue;
+      ctx.isend(peer, 3, {static_cast<double>(ctx.rank())});
+    }
+    const auto payloads = wait_all(reqs);
+    ASSERT_EQ(payloads.size(), static_cast<std::size_t>(n - 1));
+    double sum = 0.0;
+    for (const auto& p : payloads) sum += p.at(0);
+    // Sum of all other ranks' ids.
+    EXPECT_DOUBLE_EQ(sum, n * (n - 1) / 2.0 - ctx.rank());
+  });
+}
+
+// ------------------------------------------------------------ HaloTopology
+
+TEST(HaloTopology, HasTwentySixDirections) {
+  HaloTopology topo(4);
+  std::set<std::array<int, 3>> dirs(topo.directions().begin(),
+                                    topo.directions().end());
+  EXPECT_EQ(dirs.size(), 26u);
+  EXPECT_FALSE(dirs.count({0, 0, 0}));
+}
+
+TEST(HaloTopology, OppositeIsAnInvolution) {
+  HaloTopology topo(4);
+  for (int d = 0; d < HaloTopology::kNumDirections; ++d) {
+    const int o = topo.opposite(d);
+    EXPECT_EQ(topo.opposite(o), d);
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(topo.directions()[static_cast<std::size_t>(d)]
+                               [static_cast<std::size_t>(axis)],
+                -topo.directions()[static_cast<std::size_t>(o)]
+                                [static_cast<std::size_t>(axis)]);
+    }
+  }
+}
+
+TEST(HaloTopology, NeighborIsPeriodicAndReciprocal) {
+  HaloTopology topo(4);
+  for (int r = 0; r < HaloTopology::kNumRanks; ++r) {
+    for (int d = 0; d < HaloTopology::kNumDirections; ++d) {
+      const int nbr = topo.neighbor(r, d);
+      EXPECT_GE(nbr, 0);
+      EXPECT_LT(nbr, HaloTopology::kNumRanks);
+      EXPECT_EQ(topo.neighbor(nbr, topo.opposite(d)), r);
+    }
+  }
+}
+
+TEST(HaloTopology, PackAndUnpackListsMatchInSize) {
+  HaloTopology topo(5);
+  for (int d = 0; d < HaloTopology::kNumDirections; ++d) {
+    EXPECT_EQ(topo.pack_list(d).size(), topo.unpack_list(d).size());
+    EXPECT_FALSE(topo.pack_list(d).empty());
+  }
+}
+
+TEST(HaloTopology, TotalPackElementsMatchSurfaceFormula) {
+  const rperf::port::Index_type ld = 6;
+  HaloTopology topo(ld);
+  // 6 faces (ld^2) + 12 edges (ld) + 8 corners (1).
+  EXPECT_EQ(topo.total_pack_elements(), 6 * ld * ld + 12 * ld + 8);
+}
+
+TEST(HaloTopology, ListsStayInsideTheLocalArray) {
+  HaloTopology topo(4);
+  const auto cells = topo.local_cells();
+  for (int d = 0; d < HaloTopology::kNumDirections; ++d) {
+    for (auto idx : topo.pack_list(d)) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, cells);
+    }
+    for (auto idx : topo.unpack_list(d)) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, cells);
+    }
+  }
+}
+
+TEST(HaloTopology, PackListsAreInteriorUnpackListsAreGhost) {
+  const rperf::port::Index_type ld = 4;
+  HaloTopology topo(ld);
+  const auto stride = ld + 2;
+  auto coords = [&](rperf::port::Index_type idx) {
+    return std::array<rperf::port::Index_type, 3>{
+        idx / (stride * stride), (idx / stride) % stride, idx % stride};
+  };
+  for (int d = 0; d < HaloTopology::kNumDirections; ++d) {
+    for (auto idx : topo.pack_list(d)) {
+      for (auto c : coords(idx)) {
+        EXPECT_GE(c, 1);
+        EXPECT_LE(c, ld);
+      }
+    }
+    bool any_ghost_axis = false;
+    for (auto idx : topo.unpack_list(d)) {
+      for (auto c : coords(idx)) {
+        if (c == 0 || c == ld + 1) any_ghost_axis = true;
+      }
+    }
+    EXPECT_TRUE(any_ghost_axis) << "direction " << d;
+  }
+}
+
+TEST(HaloTopology, FullExchangeDeliversNeighborBoundaries) {
+  // End-to-end: fill each rank's array with its rank id, exchange, and
+  // check ghosts carry the correct neighbor's id.
+  const rperf::port::Index_type ld = 3;
+  HaloTopology topo(ld);
+  const auto cells = static_cast<std::size_t>(topo.local_cells());
+  std::vector<std::vector<double>> fields(
+      HaloTopology::kNumRanks, std::vector<double>(cells, 0.0));
+  for (int r = 0; r < HaloTopology::kNumRanks; ++r) {
+    for (auto& v : fields[static_cast<std::size_t>(r)]) {
+      v = static_cast<double>(r);
+    }
+  }
+  // Pack, transport, unpack.
+  for (int r = 0; r < HaloTopology::kNumRanks; ++r) {
+    for (int d = 0; d < HaloTopology::kNumDirections; ++d) {
+      const int nbr = topo.neighbor(r, d);
+      const auto& plist = topo.pack_list(topo.opposite(d));
+      const auto& ulist = topo.unpack_list(d);
+      ASSERT_EQ(plist.size(), ulist.size());
+      for (std::size_t k = 0; k < ulist.size(); ++k) {
+        fields[static_cast<std::size_t>(r)]
+              [static_cast<std::size_t>(ulist[k])] =
+                  fields[static_cast<std::size_t>(nbr)]
+                        [static_cast<std::size_t>(plist[k])];
+      }
+    }
+  }
+  for (int r = 0; r < HaloTopology::kNumRanks; ++r) {
+    for (int d = 0; d < HaloTopology::kNumDirections; ++d) {
+      const int nbr = topo.neighbor(r, d);
+      for (auto idx : topo.unpack_list(d)) {
+        EXPECT_DOUBLE_EQ(fields[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(idx)],
+                         static_cast<double>(nbr))
+            << "rank " << r << " dir " << d;
+      }
+    }
+  }
+}
+
+TEST(HaloTopology, RejectsDegenerateDim) {
+  EXPECT_THROW(HaloTopology(0), std::invalid_argument);
+}
+
+}  // namespace

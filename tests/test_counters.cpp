@@ -1,0 +1,252 @@
+// Tests for the TMA and NCU counter simulators.
+#include <gtest/gtest.h>
+
+#include "counters/ncu.hpp"
+#include "counters/papi.hpp"
+#include "counters/tma.hpp"
+
+namespace {
+
+using namespace rperf;
+using machine::KernelTraits;
+
+KernelTraits stream_traits(double n = 32e6) {
+  KernelTraits t;
+  t.bytes_read = 16.0 * n;
+  t.bytes_written = 8.0 * n;
+  t.flops = 2.0 * n;
+  t.working_set_bytes = 24.0 * n;
+  t.avg_parallelism = n;
+  return t;
+}
+
+// ----------------------------------------------------------------- TMA
+
+TEST(TMATree, SkeletonHasPaperHierarchy) {
+  const auto root = counters::hierarchy_skeleton();
+  ASSERT_EQ(root.children.size(), 4u);
+  EXPECT_NE(root.find("Frontend Bound"), nullptr);
+  EXPECT_NE(root.find("Bad Speculation"), nullptr);
+  EXPECT_NE(root.find("Retiring"), nullptr);
+  EXPECT_NE(root.find("Backend Bound"), nullptr);
+  EXPECT_NE(root.find("Memory Bound"), nullptr);
+  EXPECT_NE(root.find("Core Bound"), nullptr);
+  EXPECT_NE(root.find("DRAM Bound"), nullptr);
+  EXPECT_EQ(root.find("GPU Bound"), nullptr);
+}
+
+TEST(TMATree, Level1FractionsSumToOne) {
+  const auto tree = counters::tma_tree(stream_traits(), machine::spr_ddr());
+  double sum = 0.0;
+  for (const auto& c : tree.children) sum += c.fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TMATree, ChildrenSumToParent) {
+  const auto tree = counters::tma_tree(stream_traits(), machine::spr_ddr());
+  std::function<void(const counters::TMANode&)> check =
+      [&](const counters::TMANode& node) {
+        if (node.children.empty()) return;
+        double sum = 0.0;
+        for (const auto& c : node.children) {
+          sum += c.fraction;
+          check(c);
+        }
+        if (node.name != "Pipeline Slots") {
+          EXPECT_NEAR(sum, node.fraction, 1e-9) << node.name;
+        }
+      };
+  check(tree);
+}
+
+TEST(TMATree, StreamKernelIsDRAMBound) {
+  const auto tree = counters::tma_tree(stream_traits(), machine::spr_ddr());
+  const auto* mem = tree.find("Memory Bound");
+  const auto* dram = tree.find("DRAM Bound");
+  ASSERT_NE(mem, nullptr);
+  ASSERT_NE(dram, nullptr);
+  EXPECT_GT(mem->fraction, 0.5);
+  EXPECT_GT(dram->fraction, 0.5 * mem->fraction);
+}
+
+TEST(TMATree, AtomicsShowAsMicrocode) {
+  KernelTraits t = stream_traits(1e6);
+  t.atomics = 1e6;
+  t.atomic_contention_cpu = 4.0;
+  const auto tree = counters::tma_tree(t, machine::spr_ddr());
+  EXPECT_GT(tree.find("Microcode Sequencer")->fraction, 0.0);
+}
+
+TEST(TMATree, RenderContainsEveryNode) {
+  const auto tree = counters::tma_tree(stream_traits(), machine::spr_ddr());
+  const std::string text = counters::render_tree(tree);
+  for (const char* name :
+       {"Frontend Bound", "Retiring", "Memory Bound", "L2 Bound"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(TMATuple, OrderMatchesNames) {
+  machine::TMAFractions f;
+  f.frontend_bound = 0.1;
+  f.bad_speculation = 0.2;
+  f.retiring = 0.3;
+  f.core_bound = 0.15;
+  f.memory_bound = 0.25;
+  const auto tuple = counters::tma_tuple(f);
+  ASSERT_EQ(tuple.size(), 5u);
+  EXPECT_DOUBLE_EQ(tuple[0], 0.1);
+  EXPECT_DOUBLE_EQ(tuple[2], 0.3);
+  EXPECT_DOUBLE_EQ(tuple[4], 0.25);
+  EXPECT_EQ(counters::tma_tuple_names().size(), 5u);
+  EXPECT_EQ(counters::tma_tuple_names()[4], "Memory Bound");
+}
+
+// ----------------------------------------------------------------- NCU
+
+TEST(NCU, RequiresGPUMachine) {
+  EXPECT_THROW(counters::simulate_ncu(stream_traits(), machine::spr_ddr()),
+               std::invalid_argument);
+}
+
+TEST(NCU, EmitsEveryTableIVMetric) {
+  const auto c = counters::simulate_ncu(stream_traits(), machine::p9_v100());
+  for (const auto& row : counters::ncu_metric_table()) {
+    EXPECT_TRUE(c.count(row.metric)) << row.metric;
+  }
+}
+
+TEST(NCU, CacheTrafficShrinksDownTheHierarchy) {
+  KernelTraits t = stream_traits();
+  t.l1_hit = 0.5;
+  t.l2_hit = 0.5;
+  const auto c = counters::simulate_ncu(t, machine::p9_v100());
+  const double l1 = c.at("l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum") +
+                    c.at("l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum");
+  const double l2 = c.at("lts__t_sectors_op_read.sum") +
+                    c.at("lts__t_sectors_op_write.sum");
+  const double dram =
+      c.at("dram__sectors_read.sum") + c.at("dram__sectors_write.sum");
+  EXPECT_GT(l1, l2);
+  EXPECT_GT(l2, dram);
+  EXPECT_GT(dram, 0.0);
+}
+
+TEST(NCU, PoorCoalescingMultipliesSectors) {
+  KernelTraits good = stream_traits();
+  KernelTraits bad = stream_traits();
+  bad.access_eff_gpu = 0.25;
+  const auto cg = counters::simulate_ncu(good, machine::p9_v100());
+  const auto cb = counters::simulate_ncu(bad, machine::p9_v100());
+  EXPECT_NEAR(cb.at("l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum") /
+                  cg.at("l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum"),
+              4.0, 0.01);
+}
+
+TEST(NCU, AtomicsLandInL2Counters) {
+  KernelTraits t = stream_traits(1e6);
+  t.atomics = 2e6;
+  const auto c = counters::simulate_ncu(t, machine::p9_v100());
+  EXPECT_DOUBLE_EQ(c.at("lts__t_sectors_op_atom.sum") +
+                       c.at("lts__t_sectors_op_red.sum"),
+                   2e6);
+}
+
+// -------------------------------------------------------------------- PAPI
+
+TEST(PAPI, RequiresCPUMachine) {
+  EXPECT_THROW(counters::simulate_papi(stream_traits(), machine::p9_v100()),
+               std::invalid_argument);
+}
+
+TEST(PAPI, EmitsStandardPresetEvents) {
+  const auto c = counters::simulate_papi(stream_traits(), machine::spr_ddr());
+  for (const char* name :
+       {"PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_FP_OPS", "PAPI_LD_INS",
+        "PAPI_SR_INS", "PAPI_BR_INS", "PAPI_BR_MSP", "PAPI_L2_DCM",
+        "PAPI_L3_TCM"}) {
+    ASSERT_TRUE(c.count(name)) << name;
+    EXPECT_GE(c.at(name), 0.0) << name;
+  }
+  EXPECT_DOUBLE_EQ(c.at("PAPI_FP_OPS"), stream_traits().flops);
+  EXPECT_DOUBLE_EQ(c.at("PAPI_LD_INS"), stream_traits().bytes_read / 8.0);
+}
+
+TEST(PAPI, MispredictsScaleWithBranchRate) {
+  KernelTraits predictable = stream_traits();
+  predictable.branches = 32e6;
+  predictable.mispredict_rate = 0.001;
+  KernelTraits branchy = stream_traits();
+  branchy.branches = 32e6;
+  branchy.mispredict_rate = 0.3;
+  const auto cp = counters::simulate_papi(predictable, machine::spr_ddr());
+  const auto cb = counters::simulate_papi(branchy, machine::spr_ddr());
+  EXPECT_GT(cb.at("PAPI_BR_MSP"), 100.0 * cp.at("PAPI_BR_MSP"));
+  EXPECT_DOUBLE_EQ(cb.at("PAPI_BR_INS"), cp.at("PAPI_BR_INS"));
+}
+
+TEST(PAPI, CacheResidencySuppressesMisses) {
+  KernelTraits spilling = stream_traits(32e6);  // 768 MB working set
+  KernelTraits resident = stream_traits(1e5);
+  resident.working_set_bytes = 2.4e6;  // fits L2
+  const auto cs = counters::simulate_papi(spilling, machine::spr_ddr());
+  const auto cr = counters::simulate_papi(resident, machine::spr_ddr());
+  const double spill_rate =
+      cs.at("PAPI_L2_DCM") / (spilling.bytes_total() / 64.0);
+  const double resident_rate =
+      cr.at("PAPI_L2_DCM") / (resident.bytes_total() / 64.0);
+  EXPECT_GT(spill_rate, 10.0 * resident_rate);
+}
+
+TEST(PAPI, IPCIsPositiveAndBounded) {
+  const auto c = counters::simulate_papi(stream_traits(), machine::spr_ddr());
+  const double v = counters::ipc(c);
+  EXPECT_GT(v, 0.0);
+  // Cannot exceed issue width per core.
+  EXPECT_LE(v, machine::spr_ddr().issue_width);
+}
+
+// ------------------------------------------------------------ roofline
+
+TEST(Roofline, CeilingsAreOrdered) {
+  const auto r = counters::roofline_ceilings(machine::p9_v100());
+  EXPECT_GT(r.peak_warp_gips, 0.0);
+  EXPECT_GT(r.l1_gtxn_per_sec, r.l2_gtxn_per_sec);
+  EXPECT_GT(r.l2_gtxn_per_sec, r.hbm_gtxn_per_sec);
+}
+
+TEST(Roofline, AttainableIsMinOfRoofs) {
+  const auto r = counters::roofline_ceilings(machine::p9_v100());
+  // At tiny intensity: bandwidth-limited.
+  EXPECT_LT(r.attainable(counters::CacheLevel::HBM, 0.001),
+            r.peak_warp_gips);
+  // At huge intensity: compute roof.
+  EXPECT_DOUBLE_EQ(r.attainable(counters::CacheLevel::HBM, 1e9),
+                   r.peak_warp_gips);
+}
+
+TEST(Roofline, PointsHaveIncreasingIntensityDownTheHierarchy) {
+  KernelTraits t = stream_traits();
+  t.l1_hit = 0.5;
+  t.l2_hit = 0.5;
+  const auto c = counters::simulate_ncu(t, machine::p9_v100());
+  const auto pts =
+      counters::roofline_points("Stream_TRIAD", "Stream", c, 1e-3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].level, counters::CacheLevel::L1);
+  EXPECT_EQ(pts[2].level, counters::CacheLevel::HBM);
+  // Fewer transactions at deeper levels -> higher instructions per txn.
+  EXPECT_LT(pts[0].instr_per_transaction, pts[1].instr_per_transaction);
+  EXPECT_LT(pts[1].instr_per_transaction, pts[2].instr_per_transaction);
+  // All levels share the same GIPS (same time, same instructions).
+  EXPECT_DOUBLE_EQ(pts[0].warp_gips, pts[2].warp_gips);
+  EXPECT_GT(pts[0].warp_gips, 0.0);
+}
+
+TEST(Roofline, LevelNamesRoundTrip) {
+  EXPECT_EQ(counters::to_string(counters::CacheLevel::L1), "L1");
+  EXPECT_EQ(counters::to_string(counters::CacheLevel::L2), "L2");
+  EXPECT_EQ(counters::to_string(counters::CacheLevel::HBM), "HBM");
+}
+
+}  // namespace

@@ -1,0 +1,285 @@
+// Integration tests: the paper's end-to-end pipelines and its headline
+// quantitative claims, checked against the reproduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "analysis/cluster.hpp"
+#include "analysis/simulate.hpp"
+#include "analysis/thicket.hpp"
+#include "suite/executor.hpp"
+
+namespace {
+
+using namespace rperf;
+
+const std::vector<analysis::SimResult>& sims(const char* shorthand) {
+  static std::map<std::string, std::vector<analysis::SimResult>> cache;
+  auto it = cache.find(shorthand);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(shorthand, analysis::simulate_suite(
+                                     machine::by_shorthand(shorthand)))
+             .first;
+  }
+  return it->second;
+}
+
+double speedup(const char* kernel, const char* target) {
+  const auto& base = sims("SPR-DDR");
+  const auto& tgt = sims(target);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].kernel == kernel) {
+      return base[i].prediction.time_sec / tgt[i].prediction.time_sec;
+    }
+  }
+  ADD_FAILURE() << "unknown kernel " << kernel;
+  return 0.0;
+}
+
+// ------------------------------------------------- executor -> thicket
+
+TEST(Pipeline, HostRunRoundTripsThroughThicket) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "rperf_integration";
+  std::filesystem::remove_all(dir);
+
+  suite::RunParams params;
+  params.group_filter = {suite::GroupID::Stream};
+  params.size_factor = 0.01;
+  params.reps_factor = 0.1;
+  params.min_reps = 2;
+  params.output_dir = dir.string();
+  suite::Executor exec(params);
+  exec.run();
+  exec.write_profiles();
+
+  const auto tk = thicket::Thicket::from_directory(dir.string());
+  EXPECT_EQ(tk.num_profiles(), 6u);  // one per variant
+  const auto groups = tk.groupby("variant");
+  EXPECT_EQ(groups.size(), 6u);
+  for (const auto& [variant, sub] : groups) {
+    const auto s = sub.stats("Stream_TRIAD", "time");
+    EXPECT_EQ(s.count, 1u) << variant;
+    EXPECT_GT(s.mean, 0.0) << variant;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Pipeline, SimulatedProfilesComposeAcrossMachines) {
+  std::vector<cali::Profile> profiles;
+  for (const auto& m : machine::paper_machines()) {
+    profiles.push_back(
+        analysis::to_profile(analysis::simulate_suite(m), m));
+  }
+  const auto tk = thicket::Thicket::from_profiles(std::move(profiles));
+  const auto by_machine = tk.groupby("machine");
+  ASSERT_EQ(by_machine.size(), 4u);
+  // TRIAD's predicted time improves monotonically with machine bandwidth.
+  const double t_ddr =
+      *by_machine.at("SPR-DDR").value("Stream_TRIAD", 0, "time");
+  const double t_hbm =
+      *by_machine.at("SPR-HBM").value("Stream_TRIAD", 0, "time");
+  const double t_mi =
+      *by_machine.at("EPYC-MI250X").value("Stream_TRIAD", 0, "time");
+  EXPECT_GT(t_ddr, t_hbm);
+  EXPECT_GT(t_hbm, t_mi);
+}
+
+// ------------------------------------------------- paper claims: Table II
+
+TEST(PaperClaims, TableIIAchievedRates) {
+  auto find = [&](const char* machine_name, const char* kernel) {
+    for (const auto& r : sims(machine_name)) {
+      if (r.kernel == kernel) return r.prediction;
+    }
+    return machine::Prediction{};
+  };
+  // Stream_TRIAD achieved bandwidth (TB/s): 0.5 / 1.1 / 3.3 / 10.2.
+  auto bw = [&](const char* m) {
+    const auto p = find(m, "Stream_TRIAD");
+    return (p.read_bw + p.write_bw) / 1e12;
+  };
+  EXPECT_NEAR(bw("SPR-DDR"), 0.5, 0.1);
+  EXPECT_NEAR(bw("SPR-HBM"), 1.1, 0.2);
+  EXPECT_NEAR(bw("P9-V100"), 3.3, 0.4);
+  EXPECT_NEAR(bw("EPYC-MI250X"), 10.2, 1.2);
+  // Basic_MAT_MAT_SHARED achieved TFLOPS: 0.8 / 0.7 / 7.0 / 13.3.
+  auto tf = [&](const char* m) {
+    return find(m, "Basic_MAT_MAT_SHARED").flop_rate / 1e12;
+  };
+  EXPECT_NEAR(tf("SPR-DDR"), 0.8, 0.15);
+  EXPECT_NEAR(tf("SPR-HBM"), 0.7, 0.15);
+  EXPECT_NEAR(tf("P9-V100"), 7.0, 1.0);
+  EXPECT_NEAR(tf("EPYC-MI250X"), 13.3, 1.5);
+}
+
+// ----------------------------------------------- paper claims: clustering
+
+struct Clusters {
+  std::vector<std::vector<double>> points;
+  std::vector<std::size_t> index;
+  std::vector<int> assignment;
+  int k = 0;
+};
+
+Clusters cluster_ddr() {
+  Clusters c;
+  const auto& ddr = sims("SPR-DDR");
+  for (std::size_t i = 0; i < ddr.size(); ++i) {
+    if (!analysis::included_in_clustering(ddr[i])) continue;
+    c.points.push_back(analysis::tma_feature(ddr[i]));
+    c.index.push_back(i);
+  }
+  const auto links = analysis::ward_linkage(c.points);
+  c.assignment = analysis::fcluster(links, c.points.size(), 1.4);
+  for (int a : c.assignment) c.k = std::max(c.k, a + 1);
+  return c;
+}
+
+TEST(PaperClaims, ThresholdYieldsFourClusters) {
+  EXPECT_EQ(cluster_ddr().k, 4);
+}
+
+TEST(PaperClaims, MemoryBoundClusterGainsMostFromHBM) {
+  const Clusters c = cluster_ddr();
+  const auto means = analysis::cluster_means(c.points, c.assignment);
+  int mem_cluster = 0;
+  for (int k = 1; k < c.k; ++k) {
+    if (means[static_cast<std::size_t>(k)][4] >
+        means[static_cast<std::size_t>(mem_cluster)][4]) {
+      mem_cluster = k;
+    }
+  }
+  EXPECT_GT(means[static_cast<std::size_t>(mem_cluster)][4], 0.7);
+
+  auto geo = [&](int cluster, const char* target) {
+    const auto& base = sims("SPR-DDR");
+    const auto& tgt = sims(target);
+    double log_sum = 0.0;
+    int n = 0;
+    for (std::size_t j = 0; j < c.points.size(); ++j) {
+      if (c.assignment[j] != cluster) continue;
+      const std::size_t i = c.index[j];
+      log_sum += std::log(base[i].prediction.time_sec /
+                          tgt[i].prediction.time_sec);
+      ++n;
+    }
+    return std::exp(log_sum / n);
+  };
+  for (int k = 0; k < c.k; ++k) {
+    if (k == mem_cluster) continue;
+    EXPECT_GT(geo(mem_cluster, "SPR-HBM"), geo(k, "SPR-HBM")) << k;
+    EXPECT_GT(geo(mem_cluster, "EPYC-MI250X"), geo(k, "EPYC-MI250X")) << k;
+  }
+  // Paper magnitudes for the memory-bound cluster: 2.6x / 7.4x / 22.6x.
+  EXPECT_NEAR(geo(mem_cluster, "SPR-HBM"), 2.6, 0.6);
+  EXPECT_NEAR(geo(mem_cluster, "P9-V100"), 7.4, 1.5);
+  EXPECT_NEAR(geo(mem_cluster, "EPYC-MI250X"), 22.6, 4.5);
+}
+
+TEST(PaperClaims, StreamKernelsShareOneCluster) {
+  const Clusters c = cluster_ddr();
+  const auto& ddr = sims("SPR-DDR");
+  std::set<int> stream_clusters;
+  for (std::size_t j = 0; j < c.points.size(); ++j) {
+    if (ddr[c.index[j]].group == suite::GroupID::Stream) {
+      stream_clusters.insert(c.assignment[j]);
+    }
+  }
+  EXPECT_EQ(stream_clusters.size(), 1u);
+}
+
+// ------------------------------------------------- paper claims: speedups
+
+TEST(PaperClaims, KnownNoSpeedupKernelsOnV100) {
+  for (const char* kernel :
+       {"Basic_PI_ATOMIC", "Polybench_ADI", "Polybench_ATAX",
+        "Polybench_GEMVER", "Polybench_GESUMMV", "Polybench_MVT",
+        "Comm_HALO_PACKING"}) {
+    EXPECT_LE(speedup(kernel, "P9-V100"), 1.0) << kernel;
+  }
+}
+
+TEST(PaperClaims, KnownNoSpeedupKernelsOnMI250X) {
+  for (const char* kernel :
+       {"Basic_PI_ATOMIC", "Polybench_ADI", "Polybench_ATAX",
+        "Polybench_GEMVER", "Polybench_MVT", "Comm_HALO_PACKING"}) {
+    EXPECT_LE(speedup(kernel, "EPYC-MI250X"), 1.0) << kernel;
+  }
+}
+
+TEST(PaperClaims, GESUMMVAndADIGainSlightlyFromHBM) {
+  EXPECT_GT(speedup("Polybench_GESUMMV", "SPR-HBM"), 1.0);
+  EXPECT_GT(speedup("Polybench_ADI", "SPR-HBM"), 1.0);
+  // But ATAX/GEMVER/MVT do not (cache-resident per-rank tiles).
+  EXPECT_LE(speedup("Polybench_ATAX", "SPR-HBM"), 1.05);
+  EXPECT_LE(speedup("Polybench_MVT", "SPR-HBM"), 1.05);
+}
+
+TEST(PaperClaims, FIRAndMatmulsGainOnV100ButNotHBM) {
+  // The paper's 11 kernels with V100 speedup but no HBM speedup include
+  // these (plus Algorithm_MEMSET, a known model deviation — see
+  // EXPERIMENTS.md: our model treats memset as write-bandwidth bound, so
+  // it gains from HBM):
+  for (const char* kernel :
+       {"Apps_FIR", "Apps_LTIMES", "Apps_VOL3D",
+        "Basic_MAT_MAT_SHARED", "Polybench_2MM", "Polybench_3MM",
+        "Polybench_GEMM"}) {
+    EXPECT_GT(speedup(kernel, "P9-V100"), 1.0) << kernel;
+    EXPECT_LE(speedup(kernel, "SPR-HBM"), 1.05) << kernel;
+  }
+}
+
+TEST(PaperClaims, EDGE3DIsTheExtremeMI250XOutlier) {
+  const double s = speedup("Apps_EDGE3D", "EPYC-MI250X");
+  EXPECT_GT(s, 40.0);  // annotated as exceeding the 40x axis (118.6x)
+  // And it is the largest speedup in the suite.
+  const auto& base = sims("SPR-DDR");
+  const auto& mi = sims("EPYC-MI250X");
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double other =
+        base[i].prediction.time_sec / mi[i].prediction.time_sec;
+    EXPECT_LE(other, s + 1e-9) << base[i].kernel;
+  }
+}
+
+TEST(PaperClaims, FloydWarshallBeatsHBMOnMI250XButNotOnV100) {
+  const double hbm = speedup("Polybench_FLOYD_WARSHALL", "SPR-HBM");
+  EXPECT_GT(speedup("Polybench_FLOYD_WARSHALL", "EPYC-MI250X"), hbm);
+  EXPECT_LT(speedup("Polybench_FLOYD_WARSHALL", "P9-V100"), hbm);
+}
+
+TEST(PaperClaims, FusedHaloPackingRecoversGPUSpeedup) {
+  EXPECT_LT(speedup("Comm_HALO_PACKING", "EPYC-MI250X"), 1.0);
+  EXPECT_GT(speedup("Comm_HALO_PACKING_FUSED", "EPYC-MI250X"),
+            speedup("Comm_HALO_PACKING", "EPYC-MI250X"));
+}
+
+TEST(PaperClaims, RetiringBoundKernelsStillGainOnV100) {
+  // INIT_VIEW1D / NESTED_INIT / FIRST_MIN gain from GPU parallelism even
+  // without a memory bottleneck (Sec V-B).
+  for (const char* kernel : {"Basic_INIT_VIEW1D", "Basic_NESTED_INIT",
+                             "Lcals_FIRST_MIN"}) {
+    EXPECT_GT(speedup(kernel, "P9-V100"), 1.0) << kernel;
+  }
+}
+
+TEST(PaperClaims, MemoryBoundMetricDropsOnHBM) {
+  const auto& ddr = sims("SPR-DDR");
+  const auto& hbm = sims("SPR-HBM");
+  int dropped = 0, considered = 0;
+  for (std::size_t i = 0; i < ddr.size(); ++i) {
+    if (ddr[i].prediction.tma.memory_bound < 0.3) continue;
+    ++considered;
+    if (hbm[i].prediction.tma.memory_bound <
+        ddr[i].prediction.tma.memory_bound) {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(considered, 20);
+  EXPECT_EQ(dropped, considered);  // HBM always relieves the bottleneck
+}
+
+}  // namespace

@@ -1,0 +1,291 @@
+// Tests for the machine models and the analytic performance predictor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "machine/machine.hpp"
+#include "machine/predictor.hpp"
+
+namespace {
+
+using namespace rperf::machine;
+
+KernelTraits stream_traits(double n = 32e6) {
+  KernelTraits t;
+  t.bytes_read = 16.0 * n;
+  t.bytes_written = 8.0 * n;
+  t.flops = 2.0 * n;
+  t.working_set_bytes = 24.0 * n;
+  t.branches = n;
+  t.avg_parallelism = n;
+  t.fp_eff_cpu = 0.35;
+  t.fp_eff_gpu = 0.35;
+  return t;
+}
+
+KernelTraits matmul_traits(double dim = 5000.0) {
+  KernelTraits t;
+  t.bytes_read = 2.0 * 8.0 * dim * dim;
+  t.bytes_written = 8.0 * dim * dim;
+  t.flops = 2.0 * dim * dim * dim;
+  t.working_set_bytes = 3.0 * 8.0 * dim * dim;
+  t.avg_parallelism = dim * dim;
+  t.fp_eff_cpu = 1.0;
+  t.fp_eff_gpu = 1.0;
+  return t;
+}
+
+// ------------------------------------------------------------ models
+
+TEST(MachineModels, TableIIPeaks) {
+  EXPECT_DOUBLE_EQ(spr_ddr().peak_tflops_node, 4.7);
+  EXPECT_DOUBLE_EQ(spr_ddr().peak_bw_node_tbs, 0.6);
+  EXPECT_DOUBLE_EQ(spr_hbm().peak_bw_node_tbs, 3.3);
+  EXPECT_DOUBLE_EQ(p9_v100().peak_tflops_node, 31.2);
+  EXPECT_DOUBLE_EQ(p9_v100().peak_bw_node_tbs, 3.6);
+  EXPECT_DOUBLE_EQ(epyc_mi250x().peak_tflops_node, 191.5);
+  EXPECT_DOUBLE_EQ(epyc_mi250x().peak_bw_node_tbs, 12.8);
+}
+
+TEST(MachineModels, AchievedRatesMatchTableII) {
+  // Achieved = peak x achieved fraction; Table II reports 0.5 TB/s TRIAD
+  // on SPR-DDR and 13.3 TFLOPS MAT_MAT on EPYC-MI250X.
+  EXPECT_NEAR(spr_ddr().achieved_bw_node() / 1e12, 0.466, 0.05);
+  EXPECT_NEAR(spr_hbm().achieved_bw_node() / 1e12, 1.11, 0.1);
+  EXPECT_NEAR(p9_v100().achieved_bw_node() / 1e12, 3.33, 0.1);
+  EXPECT_NEAR(epyc_mi250x().achieved_bw_node() / 1e12, 10.2, 0.2);
+  EXPECT_NEAR(epyc_mi250x().achieved_flops_node() / 1e12, 13.4, 0.2);
+}
+
+TEST(MachineModels, KindsAndUnits) {
+  EXPECT_FALSE(spr_ddr().is_gpu());
+  EXPECT_FALSE(spr_hbm().is_gpu());
+  EXPECT_TRUE(p9_v100().is_gpu());
+  EXPECT_TRUE(epyc_mi250x().is_gpu());
+  EXPECT_EQ(spr_ddr().units_per_node, 2);
+  EXPECT_EQ(p9_v100().units_per_node, 4);
+  EXPECT_EQ(epyc_mi250x().units_per_node, 8);
+}
+
+TEST(MachineModels, LookupByShorthand) {
+  EXPECT_EQ(by_shorthand("SPR-DDR").system_name, "Poodle (DDR)");
+  EXPECT_EQ(by_shorthand("EPYC-MI250X").system_name, "Tioga");
+  EXPECT_THROW(by_shorthand("CRAY-1"), std::invalid_argument);
+  EXPECT_EQ(paper_machines().size(), 4u);
+}
+
+TEST(MachineModels, LocalHostIsSane) {
+  const MachineModel host = local_host();
+  EXPECT_GT(host.cores_per_node, 0);
+  EXPECT_GT(host.peak_tflops_node, 0.0);
+  EXPECT_GT(host.peak_bw_node_tbs, 0.0);
+  EXPECT_FALSE(host.is_gpu());
+}
+
+// --------------------------------------------------------- predictor
+
+TEST(Predictor, TimeIsPositiveAndTMASumsToOne) {
+  for (const auto& m : paper_machines()) {
+    const Prediction p = predict(stream_traits(), m);
+    EXPECT_GT(p.time_sec, 0.0) << m.shorthand;
+    EXPECT_NEAR(p.tma.sum(), 1.0, 1e-9) << m.shorthand;
+    EXPECT_GE(p.tma.memory_bound, 0.0);
+    EXPECT_GE(p.tma.retiring, 0.0);
+  }
+}
+
+TEST(Predictor, MoreBytesNeverFaster) {
+  KernelTraits small = stream_traits(1e6);
+  KernelTraits big = stream_traits(4e6);
+  for (const auto& m : paper_machines()) {
+    EXPECT_LE(predict(small, m).time_sec, predict(big, m).time_sec)
+        << m.shorthand;
+  }
+}
+
+TEST(Predictor, HigherBandwidthNeverSlowerForStreams) {
+  const KernelTraits t = stream_traits();
+  EXPECT_LE(predict(t, spr_hbm()).time_sec, predict(t, spr_ddr()).time_sec);
+}
+
+TEST(Predictor, StreamKernelIsMemoryBoundOnDDR) {
+  const Prediction p = predict(stream_traits(), spr_ddr());
+  EXPECT_GT(p.tma.memory_bound, 0.6);
+}
+
+TEST(Predictor, HBMReducesMemoryBoundFraction) {
+  const KernelTraits t = stream_traits();
+  EXPECT_LT(predict(t, spr_hbm()).tma.memory_bound,
+            predict(t, spr_ddr()).tma.memory_bound);
+}
+
+TEST(Predictor, MatmulIsComputeNotMemoryBound) {
+  const Prediction p = predict(matmul_traits(), spr_ddr());
+  EXPECT_LT(p.tma.memory_bound, 0.2);
+  EXPECT_GT(p.tma.core_bound + p.tma.retiring, 0.6);
+}
+
+TEST(Predictor, MatmulAchievesTableIIDenseRate) {
+  // fp_eff = 1 defines the Basic_MAT_MAT_SHARED row of Table II.
+  const Prediction p = predict(matmul_traits(), spr_ddr());
+  EXPECT_NEAR(p.flop_rate / 1e12, 0.8, 0.15);
+}
+
+TEST(Predictor, CacheResidentKernelsGainNothingFromHBM) {
+  KernelTraits t = stream_traits(1e6);
+  t.working_set_bytes = 50e6;  // fits aggregate L2 on SPR
+  const double ddr = predict(t, spr_ddr()).time_sec;
+  const double hbm = predict(t, spr_hbm()).time_sec;
+  // No HBM gain; the small residual comes from the chip's slightly lower
+  // dense FLOP fraction on the HBM part (Table II: 0.7 vs 0.8 TFLOPS).
+  EXPECT_LE(ddr / hbm, 1.05);
+  EXPECT_GE(ddr / hbm, 0.80);
+}
+
+TEST(Predictor, ContendedAtomicsSerializeOnGPUsOnly) {
+  KernelTraits t = stream_traits(1e6);
+  t.atomics = 1e6;
+  t.atomic_contention_cpu = 1.0;
+  t.atomic_contention_gpu = 64.0;
+  KernelTraits uncontended = t;
+  uncontended.atomic_contention_gpu = 1.0;
+  EXPECT_GT(predict(t, p9_v100()).time_sec,
+            5.0 * predict(uncontended, p9_v100()).time_sec);
+  EXPECT_DOUBLE_EQ(predict(t, spr_ddr()).time_sec,
+                   predict(uncontended, spr_ddr()).time_sec);
+}
+
+TEST(Predictor, LimitedParallelismInflatesGPUTime) {
+  KernelTraits wide = stream_traits();
+  KernelTraits narrow = stream_traits();
+  narrow.avg_parallelism = 1000.0;  // far below GPU saturation
+  EXPECT_GT(predict(narrow, epyc_mi250x()).time_sec,
+            10.0 * predict(wide, epyc_mi250x()).time_sec);
+  // CPUs saturate at ~10^3-way parallelism: much smaller penalty.
+  EXPECT_LT(predict(narrow, spr_ddr()).time_sec,
+            2.0 * predict(wide, spr_ddr()).time_sec);
+}
+
+TEST(Predictor, LaunchOverheadChargesPerLaunch) {
+  KernelTraits few = stream_traits(1e4);
+  few.launches_per_rep = 1;
+  KernelTraits many = few;
+  many.launches_per_rep = 156;
+  const double delta = predict(many, p9_v100()).time_sec -
+                       predict(few, p9_v100()).time_sec;
+  EXPECT_NEAR(delta, 155 * 8.0e-6, 1e-7);
+  // CPUs have no launch overhead.
+  EXPECT_DOUBLE_EQ(predict(many, spr_ddr()).time_sec,
+                   predict(few, spr_ddr()).time_sec);
+}
+
+TEST(Predictor, NetworkTimeAddsLatencyAndBandwidthTerms) {
+  KernelTraits t = stream_traits(1e4);
+  t.messages_per_rep = 26;
+  t.message_bytes = 1e6;
+  const Prediction p = predict(t, spr_ddr());
+  const double expected =
+      26 * spr_ddr().net_latency_us * 1e-6 + 1e6 / (spr_ddr().net_bw_gbs * 1e9);
+  EXPECT_NEAR(p.breakdown.network, expected, 1e-9);
+}
+
+TEST(Predictor, FrontendPressureOnlyOnCPUs) {
+  KernelTraits t = stream_traits(1e6);
+  t.code_complexity = 3.0;
+  EXPECT_GT(predict(t, spr_ddr()).breakdown.frontend, 0.0);
+  EXPECT_DOUBLE_EQ(predict(t, p9_v100()).breakdown.frontend, 0.0);
+}
+
+TEST(Predictor, VectorFractionSlowsScalarCodeOnCPUs) {
+  KernelTraits vec = stream_traits(1e6);
+  KernelTraits scalar = vec;
+  scalar.vector_fraction = 0.0;
+  EXPECT_GT(modeled_instructions(scalar, spr_ddr()),
+            2.0 * modeled_instructions(vec, spr_ddr()));
+  // GPUs are indifferent: each thread is scalar anyway.
+  EXPECT_DOUBLE_EQ(modeled_instructions(scalar, p9_v100()),
+                   modeled_instructions(vec, p9_v100()));
+}
+
+TEST(Predictor, AchievedRatesAreConsistentWithTime) {
+  const KernelTraits t = stream_traits();
+  const Prediction p = predict(t, spr_hbm());
+  EXPECT_NEAR(p.read_bw * p.time_sec, t.bytes_read, t.bytes_read * 1e-9);
+  EXPECT_NEAR(p.flop_rate * p.time_sec, t.flops, t.flops * 1e-9);
+}
+
+TEST(Predictor, BreakdownTotalsMatchReportedTime) {
+  KernelTraits t = stream_traits();
+  t.messages_per_rep = 4;
+  t.message_bytes = 1e5;
+  t.launches_per_rep = 3;
+  for (const auto& m : paper_machines()) {
+    const Prediction p = predict(t, m);
+    EXPECT_NEAR(p.breakdown.total(), p.time_sec, 1e-12) << m.shorthand;
+  }
+}
+
+TEST(PredictorFuzz, InvariantsHoldForRandomTraits) {
+  std::mt19937 rng(2024);
+  std::uniform_real_distribution<double> mag(0.0, 9.0);   // 10^0..10^9
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    KernelTraits t;
+    t.bytes_read = std::pow(10.0, mag(rng));
+    t.bytes_written = std::pow(10.0, mag(rng));
+    t.flops = std::pow(10.0, mag(rng));
+    t.int_ops = std::pow(10.0, mag(rng));
+    t.branches = std::pow(10.0, mag(rng));
+    t.mispredict_rate = unit(rng) * 0.5;
+    t.atomics = trial % 3 == 0 ? std::pow(10.0, mag(rng)) : 0.0;
+    t.atomic_contention_cpu = 1.0 + unit(rng) * 100.0;
+    t.atomic_contention_gpu = 1.0 + unit(rng) * 100.0;
+    t.working_set_bytes = std::pow(10.0, mag(rng));
+    t.avg_parallelism = std::pow(10.0, mag(rng));
+    t.parallel_fraction = unit(rng);
+    t.launches_per_rep = 1 + static_cast<int>(unit(rng) * 200);
+    t.messages_per_rep = trial % 4 == 0 ? 26 : 0;
+    t.message_bytes = std::pow(10.0, mag(rng));
+    t.access_eff_cpu = 0.01 + unit(rng) * 0.99;
+    t.access_eff_gpu = 0.01 + unit(rng) * 0.99;
+    t.fp_eff_cpu = 0.01 + unit(rng) * 0.99;
+    t.fp_eff_gpu = 0.01 + unit(rng) * 6.0;
+    t.vector_fraction = unit(rng);
+    t.code_complexity = 1.0 + unit(rng) * 4.0;
+
+    for (const auto& m : paper_machines()) {
+      const Prediction p = predict(t, m);
+      ASSERT_GT(p.time_sec, 0.0) << m.shorthand << " trial " << trial;
+      ASSERT_TRUE(std::isfinite(p.time_sec));
+      ASSERT_NEAR(p.tma.sum(), 1.0, 1e-6)
+          << m.shorthand << " trial " << trial;
+      for (double f :
+           {p.tma.frontend_bound, p.tma.bad_speculation, p.tma.retiring,
+            p.tma.core_bound, p.tma.memory_bound}) {
+        ASSERT_GE(f, -1e-12);
+        ASSERT_LE(f, 1.0 + 1e-12);
+      }
+      ASSERT_NEAR(p.breakdown.total(), p.time_sec, p.time_sec * 1e-9);
+      ASSERT_GE(p.flop_rate, 0.0);
+      ASSERT_TRUE(std::isfinite(p.read_bw));
+    }
+  }
+}
+
+TEST(PredictorFuzz, ScalingBytesScalesMemoryTime) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> mag(3.0, 9.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    KernelTraits t = stream_traits(std::pow(10.0, mag(rng)));
+    KernelTraits t2 = t;
+    t2.bytes_read *= 2.0;
+    t2.bytes_written *= 2.0;
+    for (const auto& m : paper_machines()) {
+      ASSERT_LE(predict(t, m).time_sec, predict(t2, m).time_sec + 1e-15)
+          << m.shorthand;
+    }
+  }
+}
+
+}  // namespace

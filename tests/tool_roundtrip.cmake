@@ -1,0 +1,22 @@
+# End-to-end tool test: run the suite, write profiles, query them back.
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+execute_process(
+  COMMAND "${RAJAPERF}" --kernels Stream_TRIAD,Basic_DAXPY
+          --size-factor 0.01 --outdir "${WORKDIR}/profiles"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rajaperf failed: ${rc}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" "${WORKDIR}/profiles" --groupby variant
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rperf-report failed: ${rc}")
+endif()
+foreach(needle "Stream_TRIAD" "Basic_DAXPY" "RAJA_OpenMP")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "report missing ${needle}:\n${out}")
+  endif()
+endforeach()

@@ -1,0 +1,150 @@
+// rajaperf — the standalone suite driver (the RAJAPerf executable).
+//
+//   rajaperf [run options] [--report timing|checksum|both] [--tunings]
+//   rajaperf --list                       enumerate kernels
+//   rajaperf --simulate MACHINE [...]     predicted run on a Table II system
+//
+// Examples:
+//   rajaperf --groups Stream,Lcals --npasses 3 --outdir out/
+//   rajaperf --kernels Basic_MAT_MAT_SHARED --tunings
+//   rajaperf --simulate EPYC-MI250X
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "analysis/simulate.hpp"
+#include "instrument/config.hpp"
+#include "instrument/report.hpp"
+#include "suite/executor.hpp"
+
+namespace {
+
+int list_kernels() {
+  rperf::suite::RunParams params;
+  params.size_factor = 0.001;
+  std::printf("%-34s %-10s %-8s %s\n", "Kernel", "Group", "Cmplx",
+              "Tunings");
+  for (const auto& name : rperf::suite::all_kernel_names()) {
+    const auto k = rperf::suite::make_kernel(name, params);
+    std::string tunings;
+    for (const auto& t : k->tunings()) {
+      if (!tunings.empty()) tunings += ",";
+      tunings += t;
+    }
+    std::printf("%-34s %-10s %-8s %s\n", k->name().c_str(),
+                rperf::suite::to_string(k->group()).c_str(),
+                rperf::suite::to_string(k->complexity()).c_str(),
+                tunings.c_str());
+  }
+  return 0;
+}
+
+int simulate(const std::string& machine_name) {
+  const auto& m = rperf::machine::by_shorthand(machine_name);
+  const auto sims = rperf::analysis::simulate_suite(m);
+  std::printf("Simulated suite on %s (%s), problem size %lld per node\n",
+              m.shorthand.c_str(), m.architecture.c_str(),
+              static_cast<long long>(rperf::analysis::kPaperProblemSize));
+  std::printf("%-34s %12s %12s %12s %9s\n", "Kernel", "time (ms)", "GB/s",
+              "GFLOP/s", "memB");
+  for (const auto& r : sims) {
+    std::printf("%-34s %12.4f %12.1f %12.1f %9.3f\n", r.kernel.c_str(),
+                r.prediction.time_sec * 1e3,
+                (r.prediction.read_bw + r.prediction.write_bw) / 1e9,
+                r.prediction.flop_rate / 1e9,
+                r.prediction.tma.memory_bound);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rperf;
+  try {
+    // Peel off driver-level options; forward the rest to RunParams.
+    std::vector<const char*> forwarded = {argv[0]};
+    std::string report = "timing";
+    std::string caliper_config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--list") == 0) return list_kernels();
+      if (std::strcmp(argv[i], "--simulate") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "--simulate needs a machine shorthand "
+                               "(SPR-DDR, SPR-HBM, P9-V100, EPYC-MI250X)\n");
+          return 2;
+        }
+        return simulate(argv[i + 1]);
+      }
+      if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+        report = argv[++i];
+        continue;
+      }
+      if (std::strcmp(argv[i], "--caliper") == 0 && i + 1 < argc) {
+        caliper_config = argv[++i];
+        continue;
+      }
+      if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("rajaperf — run the kernel suite\n%s"
+                    "  --report R        timing | checksum | both\n"
+                    "  --caliper CFG     Caliper-style config, e.g.\n"
+                    "                    'runtime-report,min_percent=1'\n"
+                    "  --list            list kernels and exit\n"
+                    "  --simulate M      predicted suite run on machine M\n",
+                    suite::RunParams::usage().c_str());
+        return 0;
+      }
+      forwarded.push_back(argv[i]);
+    }
+
+    suite::RunParams params = suite::RunParams::parse(
+        static_cast<int>(forwarded.size()), forwarded.data());
+    suite::Executor exec(params);
+    exec.run();
+
+    if (report == "timing" || report == "both") {
+      std::printf("Timing (seconds per repetition):\n%s\n",
+                  exec.timing_report().c_str());
+    }
+    if (report == "checksum" || report == "both") {
+      std::printf("Checksums:\n%s\n", exec.checksum_report().c_str());
+    }
+
+    std::string details;
+    if (!exec.checksums_consistent(&details)) {
+      std::fprintf(stderr, "CHECKSUM MISMATCH:\n%s", details.c_str());
+      return 1;
+    }
+    std::printf("checksums consistent across %zu results\n",
+                exec.results().size());
+    exec.write_profiles();
+    if (!params.output_dir.empty()) {
+      std::printf("profiles written to %s/\n", params.output_dir.c_str());
+    }
+
+    // Caliper-style config: a runtime-report spec prints the hierarchical
+    // region report per executed profile.
+    if (!caliper_config.empty()) {
+      const cali::ConfigManager cm(caliper_config);
+      if (cm.has("runtime-report")) {
+        cali::ReportOptions opts;
+        opts.min_percent =
+            std::stod(cm.get("runtime-report").option_or("min_percent", "0"));
+        opts.show_metrics =
+            cm.get("runtime-report").option_or("metrics", "") == "true";
+        for (const auto& prof : exec.profiles()) {
+          std::printf("\n--- runtime-report: variant=%s tuning=%s ---\n%s",
+                      prof.metadata.at("variant").c_str(),
+                      prof.metadata.at("tuning").c_str(),
+                      cali::runtime_report(prof, opts).c_str());
+        }
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n(see rajaperf --help)\n", e.what());
+    return 2;
+  }
+}

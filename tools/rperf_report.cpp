@@ -1,0 +1,86 @@
+// rperf-report — query .cali.json profiles (the cali-query substitute).
+//
+//   rperf-report DIR [--metric M] [--label KEY] [--stats NODE METRIC]
+//                    [--groupby KEY] [--compare DIR2 [--threshold T]]
+//
+// Examples:
+//   rperf-report out/                       # time table, labelled by variant
+//   rperf-report out/ --metric flops
+//   rperf-report out/ --stats Stream_TRIAD time
+//   rperf-report out/ --groupby tuning
+//   rperf-report baseline/ --compare candidate/ --threshold 1.1
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "analysis/thicket.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rperf;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: rperf-report DIR [--metric M] [--label KEY] "
+                 "[--stats NODE METRIC] [--groupby KEY]\n");
+    return 2;
+  }
+  try {
+    const auto tk = thicket::Thicket::from_directory(argv[1]);
+    std::string metric = "time";
+    std::string label = "variant";
+    std::string compare_dir;
+    double threshold = 1.1;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
+        metric = argv[++i];
+      } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+        label = argv[++i];
+      } else if (std::strcmp(argv[i], "--stats") == 0 && i + 2 < argc) {
+        const std::string node = argv[i + 1];
+        const std::string m = argv[i + 2];
+        const auto s = tk.stats(node, m);
+        std::printf("%s / %s over %zu profiles: mean=%g median=%g "
+                    "stddev=%g min=%g max=%g\n",
+                    node.c_str(), m.c_str(), s.count, s.mean, s.median,
+                    s.stddev, s.min, s.max);
+        return 0;
+      } else if (std::strcmp(argv[i], "--compare") == 0 && i + 1 < argc) {
+        compare_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+        threshold = std::stod(argv[++i]);
+      } else if (std::strcmp(argv[i], "--groupby") == 0 && i + 1 < argc) {
+        const std::string key = argv[i + 1];
+        for (const auto& [value, sub] : tk.groupby(key)) {
+          std::printf("=== %s = %s (%zu profiles) ===\n%s\n", key.c_str(),
+                      value.c_str(), sub.num_profiles(),
+                      sub.table(metric, label).c_str());
+        }
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+        return 2;
+      }
+    }
+    if (!compare_dir.empty()) {
+      const auto cand = thicket::Thicket::from_directory(compare_dir);
+      const auto rows = thicket::compare(tk, cand, metric);
+      std::printf("%s", thicket::render_comparison(rows).c_str());
+      const auto flagged = thicket::outliers(rows, threshold);
+      std::printf("\n%zu of %zu nodes outside [1/%.2f, %.2f]:\n",
+                  flagged.size(), rows.size(), threshold, threshold);
+      for (const auto& r : flagged) {
+        std::printf("  %-34s %.3fx %s\n", r.node.c_str(), r.ratio,
+                    r.ratio > 1.0 ? "REGRESSION" : "improvement");
+      }
+      return flagged.empty() ? 0 : 3;
+    }
+    std::printf("%zu profiles, %zu nodes, metrics:", tk.num_profiles(),
+                tk.nodes().size());
+    for (const auto& m : tk.metrics()) std::printf(" %s", m.c_str());
+    std::printf("\n\n%s", tk.table(metric, label).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
