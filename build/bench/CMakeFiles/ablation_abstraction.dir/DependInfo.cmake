@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_abstraction.cpp" "bench/CMakeFiles/ablation_abstraction.dir/ablation_abstraction.cpp.o" "gcc" "bench/CMakeFiles/ablation_abstraction.dir/ablation_abstraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rperf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rperf_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rperf_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rperf_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rperf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rperf_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bw_vs_flops.dir/fig10_bw_vs_flops.cpp.o"
+  "CMakeFiles/fig10_bw_vs_flops.dir/fig10_bw_vs_flops.cpp.o.d"
+  "fig10_bw_vs_flops"
+  "fig10_bw_vs_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bw_vs_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_analytic_metrics.dir/fig1_analytic_metrics.cpp.o"
+  "CMakeFiles/fig1_analytic_metrics.dir/fig1_analytic_metrics.cpp.o.d"
+  "fig1_analytic_metrics"
+  "fig1_analytic_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_analytic_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tma_hierarchy.dir/fig2_tma_hierarchy.cpp.o"
+  "CMakeFiles/fig2_tma_hierarchy.dir/fig2_tma_hierarchy.cpp.o.d"
+  "fig2_tma_hierarchy"
+  "fig2_tma_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tma_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_topdown_sprddr.dir/fig3_topdown_sprddr.cpp.o"
+  "CMakeFiles/fig3_topdown_sprddr.dir/fig3_topdown_sprddr.cpp.o.d"
+  "fig3_topdown_sprddr"
+  "fig3_topdown_sprddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_topdown_sprddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_topdown_sprhbm.dir/fig4_topdown_sprhbm.cpp.o"
+  "CMakeFiles/fig4_topdown_sprhbm.dir/fig4_topdown_sprhbm.cpp.o.d"
+  "fig4_topdown_sprhbm"
+  "fig4_topdown_sprhbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_topdown_sprhbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

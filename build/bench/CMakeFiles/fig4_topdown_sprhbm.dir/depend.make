@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_topdown_sprhbm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_roofline_v100.dir/fig5_roofline_v100.cpp.o"
+  "CMakeFiles/fig5_roofline_v100.dir/fig5_roofline_v100.cpp.o.d"
+  "fig5_roofline_v100"
+  "fig5_roofline_v100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_roofline_v100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dendrogram.dir/fig6_dendrogram.cpp.o"
+  "CMakeFiles/fig6_dendrogram.dir/fig6_dendrogram.cpp.o.d"
+  "fig6_dendrogram"
+  "fig6_dendrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dendrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

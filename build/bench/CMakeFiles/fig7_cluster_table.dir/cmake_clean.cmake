@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cluster_table.dir/fig7_cluster_table.cpp.o"
+  "CMakeFiles/fig7_cluster_table.dir/fig7_cluster_table.cpp.o.d"
+  "fig7_cluster_table"
+  "fig7_cluster_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cluster_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_parallel_coords.dir/fig8_parallel_coords.cpp.o"
+  "CMakeFiles/fig8_parallel_coords.dir/fig8_parallel_coords.cpp.o.d"
+  "fig8_parallel_coords"
+  "fig8_parallel_coords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_parallel_coords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_speedup_panels.dir/fig9_speedup_panels.cpp.o"
+  "CMakeFiles/fig9_speedup_panels.dir/fig9_speedup_panels.cpp.o.d"
+  "fig9_speedup_panels"
+  "fig9_speedup_panels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_speedup_panels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_inventory.dir/table1_inventory.cpp.o"
+  "CMakeFiles/table1_inventory.dir/table1_inventory.cpp.o.d"
+  "table1_inventory"
+  "table1_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_runparams.dir/table3_runparams.cpp.o"
+  "CMakeFiles/table3_runparams.dir/table3_runparams.cpp.o.d"
+  "table3_runparams"
+  "table3_runparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_runparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

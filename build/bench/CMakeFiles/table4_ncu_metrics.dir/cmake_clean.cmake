@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ncu_metrics.dir/table4_ncu_metrics.cpp.o"
+  "CMakeFiles/table4_ncu_metrics.dir/table4_ncu_metrics.cpp.o.d"
+  "table4_ncu_metrics"
+  "table4_ncu_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ncu_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_exchange_demo.dir/halo_exchange_demo.cpp.o"
+  "CMakeFiles/halo_exchange_demo.dir/halo_exchange_demo.cpp.o.d"
+  "halo_exchange_demo"
+  "halo_exchange_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_exchange_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roofline_explorer.dir/roofline_explorer.cpp.o"
+  "CMakeFiles/roofline_explorer.dir/roofline_explorer.cpp.o.d"
+  "roofline_explorer"
+  "roofline_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_machine.dir/whatif_machine.cpp.o"
+  "CMakeFiles/whatif_machine.dir/whatif_machine.cpp.o.d"
+  "whatif_machine"
+  "whatif_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rperf_analysis.dir/analysis/cluster.cpp.o"
+  "CMakeFiles/rperf_analysis.dir/analysis/cluster.cpp.o.d"
+  "CMakeFiles/rperf_analysis.dir/analysis/simulate.cpp.o"
+  "CMakeFiles/rperf_analysis.dir/analysis/simulate.cpp.o.d"
+  "CMakeFiles/rperf_analysis.dir/analysis/thicket.cpp.o"
+  "CMakeFiles/rperf_analysis.dir/analysis/thicket.cpp.o.d"
+  "librperf_analysis.a"
+  "librperf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rperf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

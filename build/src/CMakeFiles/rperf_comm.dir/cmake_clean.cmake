@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rperf_comm.dir/comm/halo.cpp.o"
+  "CMakeFiles/rperf_comm.dir/comm/halo.cpp.o.d"
+  "CMakeFiles/rperf_comm.dir/comm/minicomm.cpp.o"
+  "CMakeFiles/rperf_comm.dir/comm/minicomm.cpp.o.d"
+  "librperf_comm.a"
+  "librperf_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rperf_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counters/ncu.cpp" "src/CMakeFiles/rperf_counters.dir/counters/ncu.cpp.o" "gcc" "src/CMakeFiles/rperf_counters.dir/counters/ncu.cpp.o.d"
+  "/root/repo/src/counters/papi.cpp" "src/CMakeFiles/rperf_counters.dir/counters/papi.cpp.o" "gcc" "src/CMakeFiles/rperf_counters.dir/counters/papi.cpp.o.d"
+  "/root/repo/src/counters/tma.cpp" "src/CMakeFiles/rperf_counters.dir/counters/tma.cpp.o" "gcc" "src/CMakeFiles/rperf_counters.dir/counters/tma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rperf_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

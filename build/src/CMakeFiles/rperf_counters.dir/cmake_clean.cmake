@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rperf_counters.dir/counters/ncu.cpp.o"
+  "CMakeFiles/rperf_counters.dir/counters/ncu.cpp.o.d"
+  "CMakeFiles/rperf_counters.dir/counters/papi.cpp.o"
+  "CMakeFiles/rperf_counters.dir/counters/papi.cpp.o.d"
+  "CMakeFiles/rperf_counters.dir/counters/tma.cpp.o"
+  "CMakeFiles/rperf_counters.dir/counters/tma.cpp.o.d"
+  "librperf_counters.a"
+  "librperf_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rperf_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

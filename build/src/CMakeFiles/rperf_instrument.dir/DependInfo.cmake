@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/channel.cpp" "src/CMakeFiles/rperf_instrument.dir/instrument/channel.cpp.o" "gcc" "src/CMakeFiles/rperf_instrument.dir/instrument/channel.cpp.o.d"
+  "/root/repo/src/instrument/config.cpp" "src/CMakeFiles/rperf_instrument.dir/instrument/config.cpp.o" "gcc" "src/CMakeFiles/rperf_instrument.dir/instrument/config.cpp.o.d"
+  "/root/repo/src/instrument/json.cpp" "src/CMakeFiles/rperf_instrument.dir/instrument/json.cpp.o" "gcc" "src/CMakeFiles/rperf_instrument.dir/instrument/json.cpp.o.d"
+  "/root/repo/src/instrument/profile.cpp" "src/CMakeFiles/rperf_instrument.dir/instrument/profile.cpp.o" "gcc" "src/CMakeFiles/rperf_instrument.dir/instrument/profile.cpp.o.d"
+  "/root/repo/src/instrument/report.cpp" "src/CMakeFiles/rperf_instrument.dir/instrument/report.cpp.o" "gcc" "src/CMakeFiles/rperf_instrument.dir/instrument/report.cpp.o.d"
+  "/root/repo/src/instrument/trace.cpp" "src/CMakeFiles/rperf_instrument.dir/instrument/trace.cpp.o" "gcc" "src/CMakeFiles/rperf_instrument.dir/instrument/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rperf_instrument.dir/instrument/channel.cpp.o"
+  "CMakeFiles/rperf_instrument.dir/instrument/channel.cpp.o.d"
+  "CMakeFiles/rperf_instrument.dir/instrument/config.cpp.o"
+  "CMakeFiles/rperf_instrument.dir/instrument/config.cpp.o.d"
+  "CMakeFiles/rperf_instrument.dir/instrument/json.cpp.o"
+  "CMakeFiles/rperf_instrument.dir/instrument/json.cpp.o.d"
+  "CMakeFiles/rperf_instrument.dir/instrument/profile.cpp.o"
+  "CMakeFiles/rperf_instrument.dir/instrument/profile.cpp.o.d"
+  "CMakeFiles/rperf_instrument.dir/instrument/report.cpp.o"
+  "CMakeFiles/rperf_instrument.dir/instrument/report.cpp.o.d"
+  "CMakeFiles/rperf_instrument.dir/instrument/trace.cpp.o"
+  "CMakeFiles/rperf_instrument.dir/instrument/trace.cpp.o.d"
+  "librperf_instrument.a"
+  "librperf_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rperf_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

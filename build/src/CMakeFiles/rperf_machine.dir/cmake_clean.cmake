@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rperf_machine.dir/machine/machine.cpp.o"
+  "CMakeFiles/rperf_machine.dir/machine/machine.cpp.o.d"
+  "CMakeFiles/rperf_machine.dir/machine/predictor.cpp.o"
+  "CMakeFiles/rperf_machine.dir/machine/predictor.cpp.o.d"
+  "librperf_machine.a"
+  "librperf_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rperf_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

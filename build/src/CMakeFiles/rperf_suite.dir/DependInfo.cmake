@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/algorithm/atomics.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/algorithm/atomics.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/algorithm/atomics.cpp.o.d"
+  "/root/repo/src/kernels/algorithm/memops.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/algorithm/memops.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/algorithm/memops.cpp.o.d"
+  "/root/repo/src/kernels/algorithm/scan_sort.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/algorithm/scan_sort.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/algorithm/scan_sort.cpp.o.d"
+  "/root/repo/src/kernels/apps/del_dot_vec_2d.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/apps/del_dot_vec_2d.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/apps/del_dot_vec_2d.cpp.o.d"
+  "/root/repo/src/kernels/apps/fem.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/apps/fem.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/apps/fem.cpp.o.d"
+  "/root/repo/src/kernels/apps/fir.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/apps/fir.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/apps/fir.cpp.o.d"
+  "/root/repo/src/kernels/apps/ltimes.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/apps/ltimes.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/apps/ltimes.cpp.o.d"
+  "/root/repo/src/kernels/apps/lulesh.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/apps/lulesh.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/apps/lulesh.cpp.o.d"
+  "/root/repo/src/kernels/apps/mesh3d.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/apps/mesh3d.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/apps/mesh3d.cpp.o.d"
+  "/root/repo/src/kernels/basic/array_of_ptrs.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/array_of_ptrs.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/array_of_ptrs.cpp.o.d"
+  "/root/repo/src/kernels/basic/copy8.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/copy8.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/copy8.cpp.o.d"
+  "/root/repo/src/kernels/basic/daxpy.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/daxpy.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/daxpy.cpp.o.d"
+  "/root/repo/src/kernels/basic/if_quad.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/if_quad.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/if_quad.cpp.o.d"
+  "/root/repo/src/kernels/basic/indexlist.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/indexlist.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/indexlist.cpp.o.d"
+  "/root/repo/src/kernels/basic/init3.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/init3.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/init3.cpp.o.d"
+  "/root/repo/src/kernels/basic/init_view1d.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/init_view1d.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/init_view1d.cpp.o.d"
+  "/root/repo/src/kernels/basic/mat_mat_shared.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/mat_mat_shared.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/mat_mat_shared.cpp.o.d"
+  "/root/repo/src/kernels/basic/multi_reduce.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/multi_reduce.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/multi_reduce.cpp.o.d"
+  "/root/repo/src/kernels/basic/nested_init.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/nested_init.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/nested_init.cpp.o.d"
+  "/root/repo/src/kernels/basic/pi.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/pi.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/pi.cpp.o.d"
+  "/root/repo/src/kernels/basic/reduce3_int.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/reduce3_int.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/reduce3_int.cpp.o.d"
+  "/root/repo/src/kernels/basic/reduce_struct.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/reduce_struct.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/reduce_struct.cpp.o.d"
+  "/root/repo/src/kernels/basic/trap_int.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/basic/trap_int.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/basic/trap_int.cpp.o.d"
+  "/root/repo/src/kernels/comm/halo_kernels.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/comm/halo_kernels.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/comm/halo_kernels.cpp.o.d"
+  "/root/repo/src/kernels/lcals/first_min.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/first_min.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/first_min.cpp.o.d"
+  "/root/repo/src/kernels/lcals/hydro_2d.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/hydro_2d.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/hydro_2d.cpp.o.d"
+  "/root/repo/src/kernels/lcals/predictors.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/predictors.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/predictors.cpp.o.d"
+  "/root/repo/src/kernels/lcals/recurrences.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/recurrences.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/recurrences.cpp.o.d"
+  "/root/repo/src/kernels/lcals/streams.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/streams.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/lcals/streams.cpp.o.d"
+  "/root/repo/src/kernels/polybench/adi.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/adi.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/adi.cpp.o.d"
+  "/root/repo/src/kernels/polybench/floyd_warshall.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/floyd_warshall.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/floyd_warshall.cpp.o.d"
+  "/root/repo/src/kernels/polybench/matmuls.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/matmuls.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/matmuls.cpp.o.d"
+  "/root/repo/src/kernels/polybench/matvec.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/matvec.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/matvec.cpp.o.d"
+  "/root/repo/src/kernels/polybench/stencils.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/stencils.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/polybench/stencils.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/stream/add.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/stream/add.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/stream/add.cpp.o.d"
+  "/root/repo/src/kernels/stream/copy.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/stream/copy.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/stream/copy.cpp.o.d"
+  "/root/repo/src/kernels/stream/dot.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/stream/dot.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/stream/dot.cpp.o.d"
+  "/root/repo/src/kernels/stream/mul.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/stream/mul.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/stream/mul.cpp.o.d"
+  "/root/repo/src/kernels/stream/triad.cpp" "src/CMakeFiles/rperf_suite.dir/kernels/stream/triad.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/kernels/stream/triad.cpp.o.d"
+  "/root/repo/src/suite/data_utils.cpp" "src/CMakeFiles/rperf_suite.dir/suite/data_utils.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/suite/data_utils.cpp.o.d"
+  "/root/repo/src/suite/executor.cpp" "src/CMakeFiles/rperf_suite.dir/suite/executor.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/suite/executor.cpp.o.d"
+  "/root/repo/src/suite/kernel_base.cpp" "src/CMakeFiles/rperf_suite.dir/suite/kernel_base.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/suite/kernel_base.cpp.o.d"
+  "/root/repo/src/suite/run_params.cpp" "src/CMakeFiles/rperf_suite.dir/suite/run_params.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/suite/run_params.cpp.o.d"
+  "/root/repo/src/suite/types.cpp" "src/CMakeFiles/rperf_suite.dir/suite/types.cpp.o" "gcc" "src/CMakeFiles/rperf_suite.dir/suite/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rperf_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rperf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rperf_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librperf_suite.a"
+)

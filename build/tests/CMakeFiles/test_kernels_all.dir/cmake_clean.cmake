@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_all.dir/test_kernels_all.cpp.o"
+  "CMakeFiles/test_kernels_all.dir/test_kernels_all.cpp.o.d"
+  "test_kernels_all"
+  "test_kernels_all.pdb"
+  "test_kernels_all[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

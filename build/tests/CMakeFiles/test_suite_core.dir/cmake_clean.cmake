@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_core.dir/test_suite_core.cpp.o"
+  "CMakeFiles/test_suite_core.dir/test_suite_core.cpp.o.d"
+  "test_suite_core"
+  "test_suite_core.pdb"
+  "test_suite_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rajaperf.dir/rajaperf.cpp.o"
+  "CMakeFiles/rajaperf.dir/rajaperf.cpp.o.d"
+  "rajaperf"
+  "rajaperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rajaperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

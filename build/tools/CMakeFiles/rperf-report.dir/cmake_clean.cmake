@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rperf-report.dir/rperf_report.cpp.o"
+  "CMakeFiles/rperf-report.dir/rperf_report.cpp.o.d"
+  "rperf-report"
+  "rperf-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rperf-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
