@@ -1,0 +1,187 @@
+#include "faults/injector.hpp"
+
+#include <limits>
+#include <new>
+#include <sstream>
+
+namespace rperf::faults {
+
+namespace {
+
+bool matches(const FaultSpec& spec, const std::string& kernel) {
+  return !kernel.empty() && (spec.kernel == "*" || spec.kernel == kernel);
+}
+
+FaultKind kind_from_string(const std::string& s) {
+  if (s == "alloc") return FaultKind::Alloc;
+  if (s == "throw") return FaultKind::Throw;
+  if (s == "slow") return FaultKind::Slow;
+  if (s == "corrupt") return FaultKind::Corrupt;
+  throw std::invalid_argument("faults: unknown fault kind '" + s +
+                              "' (want alloc|throw|slow|corrupt)");
+}
+
+/// Parse the optional ':' argument into the spec.
+void parse_arg(FaultSpec& spec, const std::string& arg,
+               const std::string& entry) {
+  auto bad = [&](const char* why) {
+    throw std::invalid_argument("faults: bad argument '" + arg + "' in '" +
+                                entry + "': " + why);
+  };
+  if (arg.empty()) bad("empty argument after ':'");
+  if (arg[0] == 'p') {
+    // p-form: fire each occurrence with PERCENT% probability.
+    std::size_t pos = 0;
+    double pct = 0.0;
+    try {
+      pct = std::stod(arg.substr(1), &pos);
+    } catch (const std::exception&) {
+      bad("expected pPERCENT");
+    }
+    if (pos + 1 != arg.size() || pct < 0.0 || pct > 100.0) {
+      bad("percent must be a number in [0, 100]");
+    }
+    spec.probability = pct / 100.0;
+    return;
+  }
+  std::size_t pos = 0;
+  long value = 0;
+  try {
+    value = std::stol(arg, &pos);
+  } catch (const std::exception&) {
+    bad("expected COUNT, DELAYms, or pPERCENT");
+  }
+  if (value < 0) bad("value must be >= 0");
+  const std::string suffix = arg.substr(pos);
+  if (suffix == "ms") {
+    if (spec.kind != FaultKind::Slow) bad("'ms' only applies to slow@");
+    spec.delay_ms = static_cast<int>(value);
+  } else if (suffix.empty()) {
+    if (spec.kind == FaultKind::Slow) {
+      spec.delay_ms = static_cast<int>(value);
+    } else {
+      spec.budget = static_cast<int>(value);
+    }
+  } else {
+    bad("unexpected trailing characters");
+  }
+}
+
+}  // namespace
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::Alloc: return "alloc";
+    case FaultKind::Throw: return "throw";
+    case FaultKind::Slow: return "slow";
+    case FaultKind::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::vector<FaultSpec> Injector::parse(const std::string& spec) {
+  std::string body = spec;
+  if (body.rfind("faults=", 0) == 0) body = body.substr(7);
+  std::vector<FaultSpec> out;
+  if (body.empty()) return out;
+
+  std::istringstream is(body);
+  std::string entry;
+  while (std::getline(is, entry, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument("faults: entry '" + entry +
+                                  "' missing '@kernel'");
+    }
+    FaultSpec fs;
+    fs.kind = kind_from_string(entry.substr(0, at));
+    const std::size_t colon = entry.find(':', at + 1);
+    fs.kernel = entry.substr(at + 1, colon == std::string::npos
+                                         ? std::string::npos
+                                         : colon - at - 1);
+    if (fs.kernel.empty()) {
+      throw std::invalid_argument("faults: entry '" + entry +
+                                  "' has an empty kernel name");
+    }
+    if (colon != std::string::npos) {
+      parse_arg(fs, entry.substr(colon + 1), entry);
+    }
+    if (fs.kind == FaultKind::Slow && fs.delay_ms == 0) {
+      throw std::invalid_argument("faults: slow@ entry '" + entry +
+                                  "' needs a delay, e.g. slow@K:50ms");
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+void Injector::configure(const std::string& spec, std::uint32_t seed) {
+  specs_ = parse(spec);
+  rng_state_ = seed ? seed : 1u;
+}
+
+void Injector::reset() {
+  specs_.clear();
+  current_cell_.clear();
+  rng_state_ = 7u;
+}
+
+double Injector::next_unit() {
+  rng_state_ = rng_state_ * 1664525u + 1013904223u;
+  return (static_cast<double>(rng_state_ >> 8) + 0.5) / 16777216.0;
+}
+
+bool Injector::fire(FaultSpec& spec) {
+  if (spec.budget == 0) return false;
+  if (spec.probability < 1.0 && next_unit() >= spec.probability) return false;
+  if (spec.budget > 0) --spec.budget;
+  return true;
+}
+
+void Injector::on_lifecycle(const std::string& kernel) {
+  for (auto& spec : specs_) {
+    if (spec.kind == FaultKind::Throw && matches(spec, kernel) &&
+        fire(spec)) {
+      throw InjectedFault("injected fault: throw@" + kernel);
+    }
+  }
+}
+
+void Injector::on_alloc(std::size_t) {
+  for (auto& spec : specs_) {
+    if (spec.kind == FaultKind::Alloc && matches(spec, current_cell_) &&
+        fire(spec)) {
+      throw std::bad_alloc();
+    }
+  }
+}
+
+int Injector::slow_delay_ms(const std::string& kernel) {
+  int delay = 0;
+  for (auto& spec : specs_) {
+    if (spec.kind == FaultKind::Slow && matches(spec, kernel) &&
+        fire(spec)) {
+      delay += spec.delay_ms;
+    }
+  }
+  return delay;
+}
+
+long double Injector::corrupt_checksum(const std::string& kernel,
+                                       long double checksum) {
+  for (auto& spec : specs_) {
+    if (spec.kind == FaultKind::Corrupt && matches(spec, kernel) &&
+        fire(spec)) {
+      return std::numeric_limits<long double>::quiet_NaN();
+    }
+  }
+  return checksum;
+}
+
+Injector& injector() {
+  static Injector instance;
+  return instance;
+}
+
+}  // namespace rperf::faults

@@ -1,0 +1,115 @@
+// Deterministic fault injector for the suite's failure paths.
+//
+// Production benchmark sweeps die in ways that are hard to reproduce on
+// demand: an allocation failure at a large size factor, an exception from
+// one variant, a silently corrupted result, a kernel that runs far past
+// its budget. The injector arms any of those failures for specific
+// kernels from a compact config string, so every recovery path in the
+// executor (isolation, retry, timeout, checkpoint/resume) is testable:
+//
+//   faults=alloc@Stream_TRIAD:1,throw@Basic_DAXPY,slow@Lcals_HYDRO_2D:50ms,corrupt@Polybench_ADI
+//
+// Grammar (the leading "faults=" prefix is optional):
+//   spec   := entry (',' entry)*
+//   entry  := kind '@' kernel [':' arg]
+//   kind   := 'alloc' | 'throw' | 'slow' | 'corrupt'
+//   kernel := full kernel name (e.g. Stream_TRIAD) or '*' for any
+//   arg    := COUNT        fire at most COUNT times, then disarm
+//                          (alloc/throw/corrupt; default: unlimited)
+//           | DELAY 'ms'   slow: injected delay per measurement pass
+//           | 'p' PERCENT  fire each occurrence with PERCENT% probability,
+//                          driven by the seeded generator (deterministic
+//                          for a fixed seed)
+//
+// Hooks fire only inside a ScopedCell (established by KernelBase::execute),
+// so instrumentation-free callers (benches, examples) are never affected.
+// All occurrence decisions come from armed counters plus a seeded LCG —
+// no wall clock, no global randomness — so a given (spec, seed) pair
+// always fails the exact same cells.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rperf::faults {
+
+enum class FaultKind { Alloc, Throw, Slow, Corrupt };
+
+[[nodiscard]] std::string to_string(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::Throw;
+  std::string kernel = "*";   ///< full kernel name or "*" (any kernel)
+  int budget = -1;            ///< remaining firings; -1 = unlimited
+  int delay_ms = 0;           ///< Slow: injected delay per pass
+  double probability = 1.0;   ///< chance each occurrence fires (p-form)
+};
+
+/// Thrown by the Throw fault (and classified as RunStatus::Failed).
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Injector {
+ public:
+  /// Parse a fault spec string; throws std::invalid_argument on malformed
+  /// input. An empty spec (or bare "faults=") yields no entries.
+  [[nodiscard]] static std::vector<FaultSpec> parse(const std::string& spec);
+
+  /// Arm the injector from a spec string. Replaces any previous config.
+  void configure(const std::string& spec, std::uint32_t seed = 7u);
+  /// Disarm everything.
+  void reset();
+  [[nodiscard]] bool active() const { return !specs_.empty(); }
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  // ----- hooks (no-ops unless armed and inside a matching ScopedCell) -----
+  /// Called at the top of KernelBase::execute; throws InjectedFault when a
+  /// 'throw' fault fires for the kernel.
+  void on_lifecycle(const std::string& kernel);
+  /// Called by data_utils initialization; throws std::bad_alloc when an
+  /// 'alloc' fault fires for the current cell.
+  void on_alloc(std::size_t bytes);
+  /// Milliseconds of delay to inject before a measurement pass (0 = none).
+  [[nodiscard]] int slow_delay_ms(const std::string& kernel);
+  /// Returns a corrupted (NaN) checksum when a 'corrupt' fault fires,
+  /// otherwise returns `checksum` unchanged.
+  [[nodiscard]] long double corrupt_checksum(const std::string& kernel,
+                                             long double checksum);
+
+  // ----- cell scope (used by ScopedCell) -----
+  void begin_cell(const std::string& kernel) { current_cell_ = kernel; }
+  void end_cell() { current_cell_.clear(); }
+  [[nodiscard]] const std::string& current_cell() const {
+    return current_cell_;
+  }
+
+ private:
+  [[nodiscard]] bool fire(FaultSpec& spec);
+  [[nodiscard]] double next_unit();
+
+  std::vector<FaultSpec> specs_;
+  std::string current_cell_;
+  std::uint32_t rng_state_ = 7u;
+};
+
+/// Process-wide injector instance (mirrors cali::default_channel()).
+[[nodiscard]] Injector& injector();
+
+/// RAII guard marking the (kernel, variant, tuning) cell currently
+/// executing, so allocation hooks deep in data_utils know their kernel.
+class ScopedCell {
+ public:
+  explicit ScopedCell(const std::string& kernel) {
+    injector().begin_cell(kernel);
+  }
+  ~ScopedCell() { injector().end_cell(); }
+  ScopedCell(const ScopedCell&) = delete;
+  ScopedCell& operator=(const ScopedCell&) = delete;
+};
+
+}  // namespace rperf::faults

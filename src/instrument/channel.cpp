@@ -103,6 +103,27 @@ void Channel::clear() {
   metadata_.clear();
 }
 
+namespace {
+
+void merge_node(RegionNode& dst, const RegionNode& src) {
+  dst.inclusive_time_sec += src.inclusive_time_sec;
+  dst.visit_count += src.visit_count;
+  for (const auto& [name, value] : src.metrics) dst.metrics[name] += value;
+  for (const auto& child : src.children) {
+    merge_node(dst.child(child->name), *child);
+  }
+}
+
+}  // namespace
+
+void Channel::merge(const Channel& other) {
+  if (open_depth() > 0 || other.open_depth() > 0) {
+    throw AnnotationError("merge() while regions are open");
+  }
+  merge_node(*root_, other.root());
+  for (const auto& [key, value] : other.metadata()) metadata_[key] = value;
+}
+
 Channel& default_channel() {
   static Channel instance;
   return instance;

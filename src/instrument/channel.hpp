@@ -83,6 +83,14 @@ class Channel {
   /// Drop all recorded regions and metadata.
   void clear();
 
+  /// Fold another channel's recorded regions into this one: matching
+  /// region paths sum their time, visit counts, and metrics; new paths are
+  /// adopted; `other`'s metadata overwrites same-keyed entries here. Both
+  /// channels must have no open regions. Used by the executor to commit a
+  /// per-cell scratch channel into the per-variant profile only after the
+  /// cell passes.
+  void merge(const Channel& other);
+
   /// Observer invoked on every begin (is_begin=true) and end event with
   /// the region name and seconds since channel creation. Used by the
   /// event-trace service; pass nullptr to remove.

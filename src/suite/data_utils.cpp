@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "faults/injector.hpp"
+
 namespace rperf::suite {
 
 namespace {
@@ -28,17 +30,20 @@ class Lcg {
 }  // namespace
 
 void init_data(std::vector<double>& v, Index_type n, std::uint32_t seed) {
+  faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(double));
   v.resize(static_cast<std::size_t>(n));
   Lcg rng(seed);
   for (auto& x : v) x = rng.next_unit();
 }
 
 void init_data_const(std::vector<double>& v, Index_type n, double value) {
+  faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(double));
   v.assign(static_cast<std::size_t>(n), value);
 }
 
 void init_data_ramp(std::vector<double>& v, Index_type n, double lo,
                     double hi) {
+  faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(double));
   v.resize(static_cast<std::size_t>(n));
   const double step = n > 0 ? (hi - lo) / static_cast<double>(n) : 0.0;
   for (Index_type i = 0; i < n; ++i) {
@@ -48,6 +53,7 @@ void init_data_ramp(std::vector<double>& v, Index_type n, double lo,
 
 void init_int_data(std::vector<int>& v, Index_type n, int lo, int hi,
                    std::uint32_t seed) {
+  faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(int));
   v.resize(static_cast<std::size_t>(n));
   Lcg rng(seed);
   const std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;

@@ -1,49 +1,244 @@
 #include "suite/executor.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
+#include "faults/injector.hpp"
+#include "instrument/json.hpp"
 #include "suite/data_utils.hpp"
 
 namespace rperf::suite {
+
+namespace {
+
+/// Stable identity of a sweep cell, used as the progress-file key.
+std::string cell_key(const std::string& kernel, VariantID vid,
+                     const std::string& tuning_name) {
+  return kernel + "/" + to_string(vid) + "/" + tuning_name;
+}
+
+/// Short table marker for a non-passed cell.
+const char* status_marker(RunStatus s) {
+  switch (s) {
+    case RunStatus::Passed: return "ok";
+    case RunStatus::Failed: return "FAILED";
+    case RunStatus::ChecksumInvalid: return "BADSUM";
+    case RunStatus::TimedOut: return "TIMEOUT";
+    case RunStatus::Skipped: return "SKIPPED";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Executor::Executor(RunParams params) : params_(std::move(params)) {
   kernels_ = make_kernels(params_);
 }
 
+std::string Executor::progress_path() const {
+  if (params_.output_dir.empty()) return "";
+  return params_.output_dir + "/progress.jsonl";
+}
+
+RunStatus Executor::run_cell_once(const Cell& cell, cali::Channel& channel,
+                                  RunResult& r) {
+  try {
+    cell.kernel->execute(cell.vid, cell.tuning, channel);
+  } catch (const KernelTimeout& e) {
+    r.error = e.what();
+    return RunStatus::TimedOut;
+  } catch (const std::exception& e) {
+    r.error = e.what();
+    return RunStatus::Failed;
+  } catch (...) {
+    r.error = "unknown exception";
+    return RunStatus::Failed;
+  }
+  r.time_per_rep_sec = cell.kernel->time_per_rep(cell.vid, cell.tuning);
+  r.checksum = cell.kernel->checksum(cell.vid, cell.tuning);
+  r.problem_size = cell.kernel->actual_prob_size();
+  r.reps = cell.kernel->run_reps();
+  if (!std::isfinite(static_cast<double>(r.checksum))) {
+    r.error = "checksum is not finite";
+    return RunStatus::ChecksumInvalid;
+  }
+  r.error.clear();
+  return RunStatus::Passed;
+}
+
+void Executor::append_progress(const RunResult& r) const {
+  const std::string path = progress_path();
+  if (path.empty()) return;
+  json::Object o;
+  o["kernel"] = r.kernel;
+  o["variant"] = to_string(r.variant);
+  o["tuning"] = r.tuning_name;
+  o["status"] = to_string(r.status);
+  o["time_per_rep_sec"] = r.time_per_rep_sec;
+  o["checksum"] = static_cast<double>(r.checksum);
+  o["problem_size"] = static_cast<std::int64_t>(r.problem_size);
+  o["reps"] = static_cast<std::int64_t>(r.reps);
+  o["attempts"] = r.attempts;
+  if (!r.error.empty()) o["error"] = r.error;
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    throw std::runtime_error("cannot append to progress file: " + path);
+  }
+  os << json::Value(std::move(o)).dump() << '\n';
+}
+
+std::map<std::string, RunResult> Executor::load_progress() const {
+  std::map<std::string, RunResult> out;
+  const std::string path = progress_path();
+  if (path.empty() || !std::filesystem::exists(path)) return out;
+  std::ifstream is(path);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    json::Value v;
+    try {
+      v = json::Value::parse(line);
+    } catch (const json::JsonError&) {
+      continue;  // torn final line from an interrupted run
+    }
+    try {
+      RunResult r;
+      r.kernel = v.at("kernel").as_string();
+      r.variant = variant_from_string(v.at("variant").as_string());
+      r.tuning_name = v.at("tuning").as_string();
+      r.status = run_status_from_string(v.at("status").as_string());
+      r.time_per_rep_sec = v.number_or("time_per_rep_sec", -1.0);
+      r.checksum = static_cast<long double>(v.number_or("checksum", 0.0));
+      r.problem_size =
+          static_cast<Index_type>(v.number_or("problem_size", 0.0));
+      r.reps = static_cast<Index_type>(v.number_or("reps", 0.0));
+      r.error = v.string_or("error", "");
+      out[cell_key(r.kernel, r.variant, r.tuning_name)] = r;  // latest wins
+    } catch (const std::exception&) {
+      continue;  // unknown kernel/variant from an older build — re-run it
+    }
+  }
+  return out;
+}
+
 void Executor::run() {
   results_.clear();
   channels_.clear();
+
+  // (Re)arm the process-wide injector from this run's params; an empty
+  // spec disarms it, so consecutive in-process runs are self-contained.
+  faults::injector().configure(params_.fault_spec, params_.fault_seed);
+
+  // The sweep plan: every (kernel, variant, tuning) cell passing filters.
+  std::vector<Cell> cells;
   for (auto& kernel : kernels_) {
     for (VariantID vid : kernel->variants()) {
       if (!params_.wants_variant(vid)) continue;
       for (std::size_t tuning = 0; tuning < kernel->num_tunings();
            ++tuning) {
         if (!params_.run_tunings && tuning > 0) continue;
-        const std::string& tname = kernel->tunings()[tuning];
-        cali::Channel& channel = channels_[{vid, tname}];
-        kernel->execute(vid, tuning, channel);
-        RunResult r;
-        r.kernel = kernel->name();
-        r.group = kernel->group();
-        r.variant = vid;
-        r.tuning = tuning;
-        r.tuning_name = tname;
-        r.time_per_rep_sec = kernel->time_per_rep(vid, tuning);
-        r.checksum = kernel->checksum(vid, tuning);
-        r.problem_size = kernel->actual_prob_size();
-        r.reps = kernel->run_reps();
-        results_.push_back(r);
+        cells.push_back(
+            {kernel.get(), vid, tuning, kernel->tunings()[tuning]});
       }
     }
   }
-  // Run-level metadata (the Adiak substitute).
+
+  std::map<std::string, RunResult> prior;
+  if (params_.resume) prior = load_progress();
+  if (!params_.output_dir.empty()) {
+    // Start a canonical checkpoint for this run; restored cells are
+    // re-appended below, so the file always reflects the latest sweep.
+    std::filesystem::create_directories(params_.output_dir);
+    std::ofstream(progress_path(), std::ios::trunc);
+  }
+
+  bool stopped = false;
+  for (const Cell& cell : cells) {
+    RunResult r;
+    r.kernel = cell.kernel->name();
+    r.group = cell.kernel->group();
+    r.variant = cell.vid;
+    r.tuning = cell.tuning;
+    r.tuning_name = cell.tuning_name;
+
+    if (stopped) {
+      r.status = RunStatus::Skipped;
+      r.error = "sweep stopped by --no-keep-going after an earlier failure";
+      results_.push_back(r);
+      append_progress(r);
+      continue;
+    }
+
+    const auto it = prior.find(cell_key(r.kernel, r.variant, r.tuning_name));
+    if (it != prior.end() && it->second.status == RunStatus::Passed) {
+      r = it->second;
+      r.group = cell.kernel->group();
+      r.tuning = cell.tuning;
+      r.restored = true;
+      cell.kernel->restore_result(cell.vid, cell.tuning, r.time_per_rep_sec,
+                                  r.checksum);
+      results_.push_back(r);
+      append_progress(r);
+      continue;
+    }
+
+    // Guarded execution with retry-with-backoff. The cell runs into a
+    // scratch channel committed to the per-variant profile only on a pass,
+    // so failed cells never leave partial regions in the output.
+    for (int attempt = 0; attempt <= params_.retries; ++attempt) {
+      if (attempt > 0 && params_.retry_backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            params_.retry_backoff_ms << (attempt - 1)));
+      }
+      cali::Channel scratch;
+      r.attempts = attempt + 1;
+      r.status = run_cell_once(cell, scratch, r);
+      if (r.status == RunStatus::Passed) {
+        channels_[{cell.vid, cell.tuning_name}].merge(scratch);
+        break;
+      }
+      // A budget violation is deterministic; retrying only doubles the
+      // damage. Failures and corrupt checksums may be transient.
+      if (r.status == RunStatus::TimedOut) break;
+    }
+    results_.push_back(r);
+    append_progress(r);
+    if (r.status != RunStatus::Passed && !params_.keep_going) stopped = true;
+  }
+
+  // Run-level metadata (the Adiak substitute), plus the failure taxonomy
+  // of each (variant, tuning) slice of the sweep.
   for (auto& [key, channel] : channels_) {
     channel.set_metadata("variant", to_string(key.first));
     channel.set_metadata("tuning", key.second);
     channel.set_metadata("suite", "rajaperf-repro");
     channel.set_metadata("size_factor", params_.size_factor);
+    if (!params_.fault_spec.empty()) {
+      channel.set_metadata("fault_spec", params_.fault_spec);
+      channel.set_metadata("fault_seed", std::to_string(params_.fault_seed));
+    }
+    std::map<RunStatus, std::size_t> counts;
+    for (const auto& r : results_) {
+      if (r.variant == key.first && r.tuning_name == key.second) {
+        ++counts[r.status];
+      }
+    }
+    channel.set_metadata("cells_passed",
+                         std::to_string(counts[RunStatus::Passed]));
+    channel.set_metadata("cells_failed",
+                         std::to_string(counts[RunStatus::Failed]));
+    channel.set_metadata(
+        "cells_checksum_invalid",
+        std::to_string(counts[RunStatus::ChecksumInvalid]));
+    channel.set_metadata("cells_timed_out",
+                         std::to_string(counts[RunStatus::TimedOut]));
+    channel.set_metadata("cells_skipped",
+                         std::to_string(counts[RunStatus::Skipped]));
     for (const auto& [k, v] : params_.metadata) {
       channel.set_metadata(k, v);
     }
@@ -66,6 +261,49 @@ std::vector<cali::Profile> Executor::profiles() const {
   return out;
 }
 
+namespace {
+
+void merge_profile_node(cali::ProfileNode& dst, const cali::ProfileNode& src) {
+  dst.time_sec += src.time_sec;
+  dst.visit_count += src.visit_count;
+  for (const auto& [k, v] : src.metrics) dst.metrics[k] += v;
+  for (const auto& child : src.children) {
+    cali::ProfileNode* match = nullptr;
+    for (auto& c : dst.children) {
+      if (c.name == child.name) {
+        match = &c;
+        break;
+      }
+    }
+    if (match != nullptr) {
+      merge_profile_node(*match, child);
+    } else {
+      dst.children.push_back(child);
+    }
+  }
+}
+
+/// Fold `extra`'s regions into `prof` (metadata: prof wins on conflicts).
+void merge_profile(cali::Profile& prof, const cali::Profile& extra) {
+  for (const auto& root : extra.roots) {
+    cali::ProfileNode* match = nullptr;
+    for (auto& r : prof.roots) {
+      if (r.name == root.name) {
+        match = &r;
+        break;
+      }
+    }
+    if (match != nullptr) {
+      merge_profile_node(*match, root);
+    } else {
+      prof.roots.push_back(root);
+    }
+  }
+  for (const auto& [k, v] : extra.metadata) prof.metadata.emplace(k, v);
+}
+
+}  // namespace
+
 void Executor::write_profiles() const {
   if (params_.output_dir.empty()) return;
   std::filesystem::create_directories(params_.output_dir);
@@ -73,16 +311,91 @@ void Executor::write_profiles() const {
     const std::string path = params_.output_dir + "/" +
                              to_string(key.first) + "." + key.second +
                              ".cali.json";
-    cali::write_profile(channel, path);
+    cali::Profile prof = cali::to_profile(channel);
+    // Under --resume the channel holds only the cells that re-ran; the
+    // on-disk profile holds exactly the restored (previously passed) cells,
+    // so folding the two keeps per-variant profiles complete.
+    if (params_.resume && std::filesystem::exists(path)) {
+      merge_profile(prof, cali::read_profile(path));
+    }
+    cali::write_profile(prof, path);
   }
 }
 
-std::string Executor::timing_report() const {
-  // Collect executed variants in enum order (tuning 0 / "default").
-  std::vector<VariantID> vids;
-  for (const auto& [key, channel] : channels_) {
-    if (key.second == "default") vids.push_back(key.first);
+std::map<RunStatus, std::size_t> Executor::status_counts() const {
+  std::map<RunStatus, std::size_t> counts;
+  for (RunStatus s :
+       {RunStatus::Passed, RunStatus::Failed, RunStatus::ChecksumInvalid,
+        RunStatus::TimedOut, RunStatus::Skipped}) {
+    counts[s] = 0;
   }
+  for (const auto& r : results_) ++counts[r.status];
+  return counts;
+}
+
+bool Executor::all_passed() const {
+  for (const auto& r : results_) {
+    if (r.status != RunStatus::Passed) return false;
+  }
+  return true;
+}
+
+std::string Executor::status_report() const {
+  const auto counts = status_counts();
+  std::size_t restored = 0;
+  for (const auto& r : results_) {
+    if (r.restored) ++restored;
+  }
+  std::ostringstream os;
+  os << "cells: " << counts.at(RunStatus::Passed) << " passed, "
+     << counts.at(RunStatus::Failed) << " failed, "
+     << counts.at(RunStatus::ChecksumInvalid) << " checksum-invalid, "
+     << counts.at(RunStatus::TimedOut) << " timed-out, "
+     << counts.at(RunStatus::Skipped) << " skipped";
+  if (restored > 0) os << " (" << restored << " restored from checkpoint)";
+  os << '\n';
+  for (const auto& r : results_) {
+    if (r.status == RunStatus::Passed) continue;
+    os << "  " << to_string(r.status) << " " << r.kernel << " ["
+       << to_string(r.variant) << "/" << r.tuning_name << "]";
+    if (r.attempts > 1) os << " after " << r.attempts << " attempts";
+    if (!r.error.empty()) os << ": " << r.error;
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Variants present in the sweep's default-tuning results, in enum order.
+std::vector<VariantID> report_variants(const std::vector<RunResult>& results) {
+  std::vector<VariantID> vids;
+  for (VariantID v : all_variants()) {
+    for (const auto& r : results) {
+      if (r.variant == v && r.tuning_name == "default") {
+        vids.push_back(v);
+        break;
+      }
+    }
+  }
+  return vids;
+}
+
+/// Default-tuning result for (kernel, variant); nullptr when not swept.
+const RunResult* find_result(const std::vector<RunResult>& results,
+                             const std::string& kernel, VariantID v) {
+  for (const auto& r : results) {
+    if (r.kernel == kernel && r.variant == v && r.tuning_name == "default") {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string Executor::timing_report() const {
+  const std::vector<VariantID> vids = report_variants(results_);
 
   std::ostringstream os;
   os << std::left << std::setw(32) << "Kernel";
@@ -91,9 +404,12 @@ std::string Executor::timing_report() const {
   for (const auto& kernel : kernels_) {
     os << std::left << std::setw(32) << kernel->name();
     for (VariantID v : vids) {
-      if (kernel->was_run(v)) {
+      const RunResult* r = find_result(results_, kernel->name(), v);
+      if (r != nullptr && r->status == RunStatus::Passed) {
         os << std::right << std::setw(16) << std::scientific
-           << std::setprecision(3) << kernel->time_per_rep(v);
+           << std::setprecision(3) << r->time_per_rep_sec;
+      } else if (r != nullptr) {
+        os << std::right << std::setw(16) << status_marker(r->status);
       } else {
         os << std::right << std::setw(16) << "--";
       }
@@ -104,10 +420,7 @@ std::string Executor::timing_report() const {
 }
 
 std::string Executor::checksum_report() const {
-  std::vector<VariantID> vids;
-  for (const auto& [key, channel] : channels_) {
-    if (key.second == "default") vids.push_back(key.first);
-  }
+  const std::vector<VariantID> vids = report_variants(results_);
 
   std::ostringstream os;
   os << std::left << std::setw(32) << "Kernel";
@@ -116,10 +429,12 @@ std::string Executor::checksum_report() const {
   for (const auto& kernel : kernels_) {
     os << std::left << std::setw(32) << kernel->name();
     for (VariantID v : vids) {
-      if (kernel->was_run(v)) {
+      const RunResult* r = find_result(results_, kernel->name(), v);
+      if (r != nullptr && r->status == RunStatus::Passed) {
         os << std::right << std::setw(22) << std::scientific
-           << std::setprecision(12)
-           << static_cast<double>(kernel->checksum(v));
+           << std::setprecision(12) << static_cast<double>(r->checksum);
+      } else if (r != nullptr) {
+        os << std::right << std::setw(22) << status_marker(r->status);
       } else {
         os << std::right << std::setw(22) << "--";
       }
@@ -131,16 +446,32 @@ std::string Executor::checksum_report() const {
 
 bool Executor::checksums_consistent(std::string* details) const {
   // Variants of a kernel must agree within each tuning (different tunings
-  // may legitimately compute different configurations).
+  // may legitimately compute different configurations). Cells that did not
+  // pass are excluded: their failure is already reported as a RunStatus.
+  auto cell_passed = [&](const std::string& kernel,
+                         const std::string& tuning_name, VariantID v) {
+    for (const auto& r : results_) {
+      if (r.kernel == kernel && r.variant == v &&
+          r.tuning_name == tuning_name) {
+        return r.status == RunStatus::Passed;
+      }
+    }
+    // No recorded result (e.g. kernel executed directly in tests): fall
+    // back to the kernel's own record.
+    return true;
+  };
+
   bool ok = true;
   std::ostringstream os;
   for (const auto& kernel : kernels_) {
     for (std::size_t tuning = 0; tuning < kernel->num_tunings(); ++tuning) {
+      const std::string& tname = kernel->tunings()[tuning];
       long double reference = 0.0L;
       bool have_reference = false;
       VariantID ref_vid = VariantID::Base_Seq;
       for (VariantID v : kernel->variants()) {
         if (!kernel->was_run(v, tuning)) continue;
+        if (!cell_passed(kernel->name(), tname, v)) continue;
         if (!have_reference) {
           reference = kernel->checksum(v, tuning);
           ref_vid = v;
@@ -150,7 +481,7 @@ bool Executor::checksums_consistent(std::string* details) const {
         const long double cs = kernel->checksum(v, tuning);
         if (!checksums_match(reference, cs, params_.checksum_tolerance)) {
           ok = false;
-          os << kernel->name() << " [" << kernel->tunings()[tuning]
+          os << kernel->name() << " [" << tname
              << "]: " << to_string(ref_vid) << "="
              << static_cast<double>(reference) << " vs " << to_string(v)
              << "=" << static_cast<double>(cs) << '\n';

@@ -4,6 +4,17 @@
 // Mirroring the paper's integration, one profile is produced per variant
 // (one RAJAPerf run = one variant + one tuning), each containing a region
 // per kernel with attributed analytic metrics and run metadata.
+//
+// Execution is fault tolerant: each (kernel, variant, tuning) cell runs in
+// a guarded scope recording a RunStatus instead of aborting the sweep.
+// Exceptions become Failed, NaN/Inf checksums become ChecksumInvalid, and
+// budget violations become TimedOut; with keep_going (default) the sweep
+// continues and failed cells simply show their status in the reports.
+// Failed/ChecksumInvalid cells are retried with exponential backoff up to
+// RunParams::retries extra attempts. Every terminal cell is appended to
+// <output_dir>/progress.jsonl, and RunParams::resume restores cells already
+// Passed there instead of re-running them — an interrupted multi-hour sweep
+// loses at most one kernel.
 #pragma once
 
 #include <map>
@@ -29,6 +40,10 @@ struct RunResult {
   long double checksum = 0.0L;
   Index_type problem_size = 0;
   Index_type reps = 0;
+  RunStatus status = RunStatus::Passed;
+  std::string error;  ///< diagnostic for non-Passed statuses
+  int attempts = 1;   ///< executions performed (> 1 after retries)
+  bool restored = false;  ///< true when taken from progress.jsonl (--resume)
 };
 
 class Executor {
@@ -49,12 +64,14 @@ class Executor {
 
   /// One profile per executed (variant, tuning), with metadata — exactly
   /// the paper's "a single RAJAPerf run generates a Caliper profile
-  /// containing one variant and one tuning".
+  /// containing one variant and one tuning". Only (variant, tuning) pairs
+  /// with at least one passed cell produce a profile.
   [[nodiscard]] std::vector<cali::Profile> profiles() const;
   /// Write profiles to params.output_dir as <variant>.<tuning>.cali.json.
   void write_profiles() const;
 
-  /// Per-kernel timing table across variants (seconds per repetition).
+  /// Per-kernel timing table across variants (seconds per repetition);
+  /// non-passed cells show their status instead of a time.
   [[nodiscard]] std::string timing_report() const;
   /// Per-kernel checksum table across variants.
   [[nodiscard]] std::string checksum_report() const;
@@ -62,10 +79,35 @@ class Executor {
   /// details (when non-null) receives a description of mismatches.
   [[nodiscard]] bool checksums_consistent(std::string* details) const;
 
+  // ----- failure taxonomy -----
+  /// Cell counts per terminal status (zero-count statuses included).
+  [[nodiscard]] std::map<RunStatus, std::size_t> status_counts() const;
+  /// True when every cell Passed (restored cells count as passed).
+  [[nodiscard]] bool all_passed() const;
+  /// One line per non-passed cell plus a summary count line.
+  [[nodiscard]] std::string status_report() const;
+  /// Path of the checkpoint file ("" when output_dir is unset).
+  [[nodiscard]] std::string progress_path() const;
+
  private:
+  struct Cell {
+    KernelBase* kernel = nullptr;
+    VariantID vid = VariantID::Base_Seq;
+    std::size_t tuning = 0;
+    std::string tuning_name;
+  };
+
+  /// Execute one cell (single attempt) into `channel`, classifying the
+  /// outcome; fills time/checksum fields of `r` on success.
+  RunStatus run_cell_once(const Cell& cell, cali::Channel& channel,
+                          RunResult& r);
+  void append_progress(const RunResult& r) const;
+  [[nodiscard]] std::map<std::string, RunResult> load_progress() const;
+
   RunParams params_;
   std::vector<std::unique_ptr<KernelBase>> kernels_;
-  /// Keyed by (variant, tuning name).
+  /// Keyed by (variant, tuning name); entries exist only for pairs with at
+  /// least one passed cell.
   std::map<std::pair<VariantID, std::string>, cali::Channel> channels_;
   std::vector<RunResult> results_;
 };

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+
+#include "faults/injector.hpp"
 
 namespace rperf::suite {
 
@@ -91,36 +94,73 @@ void KernelBase::execute(VariantID vid, std::size_t tuning,
   double best = -1.0;
   long double csum = 0.0L;
 
-  for (int pass = 0; pass < std::max(1, params_.npasses); ++pass) {
-    setUp(vid);
-    {
-      cali::ScopedRegion region(channel, name_);
-      const auto start = Clock::now();
-      runVariant(vid);
-      const auto stop = Clock::now();
-      const double elapsed =
-          std::chrono::duration<double>(stop - start).count();
-      const double per_rep = elapsed / static_cast<double>(reps_);
-      if (best < 0.0 || per_rep < best) best = per_rep;
+  faults::ScopedCell cell(name_);
+  faults::injector().on_lifecycle(name_);
+  const auto budget_start = Clock::now();
 
-      // Attribute the paper's analytic metrics to the kernel region.
-      const auto& t = traits_;
-      channel.attribute_metric("reps", static_cast<double>(reps_));
-      channel.attribute_metric("bytes_read",
-                               t.bytes_read * static_cast<double>(reps_));
-      channel.attribute_metric("bytes_written",
-                               t.bytes_written * static_cast<double>(reps_));
-      channel.attribute_metric("flops",
-                               t.flops * static_cast<double>(reps_));
-      channel.attribute_metric("problem_size",
-                               static_cast<double>(actual_size_));
+  for (int pass = 0; pass < std::max(1, params_.npasses); ++pass) {
+    const int injected_delay = faults::injector().slow_delay_ms(name_);
+    if (injected_delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(injected_delay));
     }
-    csum = computeChecksum(vid);
+    // Guarded lifecycle: if any stage throws, attempt tearDown so a failed
+    // cell releases its data and cannot poison subsequent cells.
+    try {
+      setUp(vid);
+      {
+        cali::ScopedRegion region(channel, name_);
+        const auto start = Clock::now();
+        runVariant(vid);
+        const auto stop = Clock::now();
+        const double elapsed =
+            std::chrono::duration<double>(stop - start).count();
+        const double per_rep = elapsed / static_cast<double>(reps_);
+        if (best < 0.0 || per_rep < best) best = per_rep;
+
+        // Attribute the paper's analytic metrics to the kernel region.
+        const auto& t = traits_;
+        channel.attribute_metric("reps", static_cast<double>(reps_));
+        channel.attribute_metric("bytes_read",
+                                 t.bytes_read * static_cast<double>(reps_));
+        channel.attribute_metric(
+            "bytes_written", t.bytes_written * static_cast<double>(reps_));
+        channel.attribute_metric("flops",
+                                 t.flops * static_cast<double>(reps_));
+        channel.attribute_metric("problem_size",
+                                 static_cast<double>(actual_size_));
+      }
+      csum = computeChecksum(vid);
+      csum = faults::injector().corrupt_checksum(name_, csum);
+    } catch (...) {
+      try {
+        tearDown(vid);
+      } catch (...) {
+        // The original exception carries the diagnosis.
+      }
+      throw;
+    }
     tearDown(vid);
+
+    // Watchdog: enforce the per-kernel wall-clock budget between passes.
+    if (params_.max_kernel_seconds > 0.0) {
+      const double spent =
+          std::chrono::duration<double>(Clock::now() - budget_start).count();
+      if (spent > params_.max_kernel_seconds) {
+        throw KernelTimeout(name_ + ": exceeded budget of " +
+                            std::to_string(params_.max_kernel_seconds) +
+                            " s (spent " + std::to_string(spent) + " s)");
+      }
+    }
   }
 
   time_per_rep_[{vid, tuning}] = best;
   checksums_[{vid, tuning}] = csum;
+}
+
+void KernelBase::restore_result(VariantID vid, std::size_t tuning,
+                                double time_per_rep, long double checksum) {
+  time_per_rep_[{vid, tuning}] = time_per_rep;
+  checksums_[{vid, tuning}] = checksum;
 }
 
 void KernelBase::execute(VariantID vid) {

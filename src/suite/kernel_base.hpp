@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,13 @@
 #include "suite/types.hpp"
 
 namespace rperf::suite {
+
+/// Thrown when a kernel exceeds its per-kernel wall-clock budget
+/// (RunParams::max_kernel_seconds); classified as RunStatus::TimedOut.
+class KernelTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class KernelBase {
  public:
@@ -70,7 +78,11 @@ class KernelBase {
   /// Run one variant under one tuning: setUp -> timed repetitions
   /// (npasses, min taken) -> checksum -> tearDown, with Caliper-substitute
   /// annotations on `channel`. Throws std::invalid_argument for an
-  /// unavailable variant or out-of-range tuning.
+  /// unavailable variant or out-of-range tuning, and KernelTimeout when the
+  /// run exceeds RunParams::max_kernel_seconds (checked between passes).
+  /// When any lifecycle stage throws, tearDown is still attempted so a
+  /// failed cell cannot leak allocations into the rest of the sweep;
+  /// tearDown must therefore tolerate being called after a failed setUp.
   void execute(VariantID vid, std::size_t tuning, cali::Channel& channel);
   void execute(VariantID vid, cali::Channel& channel) {
     execute(vid, 0, channel);
@@ -86,6 +98,11 @@ class KernelBase {
   [[nodiscard]] long double checksum(VariantID vid,
                                      std::size_t tuning = 0) const;
   [[nodiscard]] bool was_run(VariantID vid, std::size_t tuning = 0) const;
+
+  /// Install a previously recorded (time, checksum) pair without executing,
+  /// so resumed sweeps produce complete reports and checksum validation.
+  void restore_result(VariantID vid, std::size_t tuning, double time_per_rep,
+                      long double checksum);
 
  protected:
   // ----- subclass lifecycle hooks -----

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "faults/injector.hpp"
+
 namespace rperf::suite {
 
 namespace {
@@ -59,6 +61,28 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
       ++i;
     } else if (arg == "--tunings") {
       p.run_tunings = true;
+    } else if (arg == "--keep-going") {
+      p.keep_going = true;
+    } else if (arg == "--no-keep-going") {
+      p.keep_going = false;
+    } else if (arg == "--retries") {
+      p.retries = std::stoi(need_value(i, arg));
+      ++i;
+    } else if (arg == "--retry-backoff-ms") {
+      p.retry_backoff_ms = std::stoi(need_value(i, arg));
+      ++i;
+    } else if (arg == "--max-kernel-seconds") {
+      p.max_kernel_seconds = std::stod(need_value(i, arg));
+      ++i;
+    } else if (arg == "--resume") {
+      p.resume = true;
+    } else if (arg == "--faults") {
+      p.fault_spec = need_value(i, arg);
+      ++i;
+    } else if (arg == "--fault-seed") {
+      p.fault_seed =
+          static_cast<std::uint32_t>(std::stoul(need_value(i, arg)));
+      ++i;
     } else {
       throw std::invalid_argument("unknown argument: " + arg);
     }
@@ -67,6 +91,13 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
     throw std::invalid_argument("--size-factor must be > 0");
   }
   if (p.npasses < 1) throw std::invalid_argument("--npasses must be >= 1");
+  if (p.retries < 0) throw std::invalid_argument("--retries must be >= 0");
+  if (p.retry_backoff_ms < 0) {
+    throw std::invalid_argument("--retry-backoff-ms must be >= 0");
+  }
+  // Validate the fault grammar eagerly so a typo fails at parse time, not
+  // mid-sweep.
+  (void)faults::Injector::parse(p.fault_spec);
   return p;
 }
 
@@ -80,7 +111,17 @@ std::string RunParams::usage() {
          "  --groups G,H      run only the named groups\n"
          "  --variants V,W    run only the named variants\n"
          "  --tunings         run every registered tuning per kernel\n"
-         "  --outdir DIR      write one .cali.json profile per variant\n";
+         "  --outdir DIR      write one .cali.json profile per variant\n"
+         "  --keep-going      continue past failed cells (default)\n"
+         "  --no-keep-going   stop the sweep at the first failure\n"
+         "  --retries N       extra attempts for failed cells (default 0)\n"
+         "  --retry-backoff-ms N  base retry delay, doubling per attempt\n"
+         "  --max-kernel-seconds S  per-kernel wall-clock budget\n"
+         "  --resume          skip cells already Passed in\n"
+         "                    <outdir>/progress.jsonl\n"
+         "  --faults SPEC     inject faults, e.g.\n"
+         "                    'throw@Basic_DAXPY,slow@Lcals_HYDRO_2D:50ms'\n"
+         "  --fault-seed N    seed for probabilistic fault decisions\n";
 }
 
 }  // namespace rperf::suite

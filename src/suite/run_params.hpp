@@ -1,6 +1,7 @@
 // Runtime parameters controlling a suite run (the RAJAPerf command line).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,26 @@ struct RunParams {
 
   /// Relative tolerance for cross-variant checksum agreement.
   double checksum_tolerance = 1e-7;
+
+  // ----- fault tolerance -----
+  /// Continue the sweep past failed cells (record status, keep results for
+  /// everything else). Disable with --no-keep-going to stop at the first
+  /// failure; remaining cells are recorded as Skipped.
+  bool keep_going = true;
+  /// Re-run a Failed/ChecksumInvalid cell up to this many extra attempts.
+  int retries = 0;
+  /// Base delay before a retry; doubles per attempt (exponential backoff).
+  int retry_backoff_ms = 50;
+  /// Per-kernel wall-clock budget in seconds enforced by a watchdog check
+  /// between measurement passes; <= 0 disables the budget.
+  double max_kernel_seconds = 0.0;
+  /// Skip cells recorded as Passed in <output_dir>/progress.jsonl from a
+  /// previous (interrupted or partially failed) run.
+  bool resume = false;
+  /// Fault-injection spec (see faults/injector.hpp grammar); empty = off.
+  std::string fault_spec;
+  /// Seed for the injector's deterministic probability decisions.
+  std::uint32_t fault_seed = 7u;
 
   [[nodiscard]] bool wants_kernel(const std::string& name) const {
     if (kernel_filter.empty()) return true;

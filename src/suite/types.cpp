@@ -53,6 +53,17 @@ std::string to_string(FeatureID f) {
   return "?";
 }
 
+std::string to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::Passed: return "Passed";
+    case RunStatus::Failed: return "Failed";
+    case RunStatus::ChecksumInvalid: return "ChecksumInvalid";
+    case RunStatus::TimedOut: return "TimedOut";
+    case RunStatus::Skipped: return "Skipped";
+  }
+  return "?";
+}
+
 const std::vector<GroupID>& all_groups() {
   static const std::vector<GroupID> groups = {
       GroupID::Algorithm, GroupID::Apps,      GroupID::Basic, GroupID::Comm,
@@ -80,6 +91,15 @@ VariantID variant_from_string(const std::string& s) {
     if (to_string(v) == s) return v;
   }
   throw std::invalid_argument("unknown variant: " + s);
+}
+
+RunStatus run_status_from_string(const std::string& s) {
+  for (RunStatus st :
+       {RunStatus::Passed, RunStatus::Failed, RunStatus::ChecksumInvalid,
+        RunStatus::TimedOut, RunStatus::Skipped}) {
+    if (to_string(st) == s) return st;
+  }
+  throw std::invalid_argument("unknown run status: " + s);
 }
 
 bool is_raja_variant(VariantID v) {

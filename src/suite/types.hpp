@@ -47,6 +47,15 @@ enum class FeatureID : std::uint32_t {
   Workgroup = 1u << 7, // message packing (Comm)
 };
 
+/// Outcome of one (kernel, variant, tuning) cell of the sweep.
+enum class RunStatus {
+  Passed,           ///< executed, finite checksum recorded
+  Failed,           ///< exception escaped the kernel lifecycle
+  ChecksumInvalid,  ///< executed but produced a NaN/Inf checksum
+  TimedOut,         ///< exceeded the per-kernel wall-clock budget
+  Skipped,          ///< not executed (resume hit or sweep stopped early)
+};
+
 /// Computational complexity relative to problem (storage) size.
 enum class Complexity {
   N,        // O(n)
@@ -59,6 +68,7 @@ enum class Complexity {
 [[nodiscard]] std::string to_string(VariantID v);
 [[nodiscard]] std::string to_string(Complexity c);
 [[nodiscard]] std::string to_string(FeatureID f);
+[[nodiscard]] std::string to_string(RunStatus s);
 
 [[nodiscard]] const std::vector<GroupID>& all_groups();
 [[nodiscard]] const std::vector<VariantID>& all_variants();
@@ -66,6 +76,7 @@ enum class Complexity {
 /// Parse helpers; throw std::invalid_argument on unknown names.
 [[nodiscard]] GroupID group_from_string(const std::string& s);
 [[nodiscard]] VariantID variant_from_string(const std::string& s);
+[[nodiscard]] RunStatus run_status_from_string(const std::string& s);
 
 /// True for variants that execute through the portability layer.
 [[nodiscard]] bool is_raja_variant(VariantID v);

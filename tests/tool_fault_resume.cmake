@@ -1,0 +1,41 @@
+# The acceptance scenario for fault-tolerant execution: an injected fault
+# in Basic_DAXPY must not abort the sweep — Stream_TRIAD still produces
+# profiles and the exit code flags the failure (4) — and a second run with
+# --resume must re-run only the failed cells and succeed.
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+  COMMAND "${RAJAPERF}" --kernels Basic_DAXPY,Stream_TRIAD
+          --size-factor 0.01 --keep-going --faults throw@Basic_DAXPY
+          --outdir "${WORKDIR}/out"
+  OUTPUT_VARIABLE out1
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 4)
+  message(FATAL_ERROR "faulted run: want exit 4, got ${rc1}:\n${out1}")
+endif()
+if(NOT out1 MATCHES "Failed Basic_DAXPY")
+  message(FATAL_ERROR "faulted run did not report Basic_DAXPY:\n${out1}")
+endif()
+if(NOT EXISTS "${WORKDIR}/out/progress.jsonl")
+  message(FATAL_ERROR "no progress.jsonl written")
+endif()
+# The non-faulted kernel still produced its profiles.
+file(GLOB profiles "${WORKDIR}/out/*.cali.json")
+list(LENGTH profiles nprofiles)
+if(nprofiles EQUAL 0)
+  message(FATAL_ERROR "faulted run produced no profiles for passing cells")
+endif()
+
+# Resume without faults: only the failed cells re-run; everything passes.
+execute_process(
+  COMMAND "${RAJAPERF}" --kernels Basic_DAXPY,Stream_TRIAD
+          --size-factor 0.01 --resume --outdir "${WORKDIR}/out"
+  OUTPUT_VARIABLE out2
+  RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "resume run: want exit 0, got ${rc2}:\n${out2}")
+endif()
+if(NOT out2 MATCHES "restored from checkpoint")
+  message(FATAL_ERROR "resume run restored nothing:\n${out2}")
+endif()

@@ -8,6 +8,14 @@
 //   rajaperf --groups Stream,Lcals --npasses 3 --outdir out/
 //   rajaperf --kernels Basic_MAT_MAT_SHARED --tunings
 //   rajaperf --simulate EPYC-MI250X
+//
+// Exit codes:
+//   0  all cells passed, checksums consistent
+//   1  cross-variant checksum mismatch
+//   2  bad arguments / setup error (diagnostic on stderr)
+//   4  one or more cells Failed / ChecksumInvalid / TimedOut / Skipped
+//   5  unexpected runtime error (diagnostic on stderr)
+//   70 unknown (non-std::exception) error
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -112,16 +120,21 @@ int main(int argc, char** argv) {
       std::printf("Checksums:\n%s\n", exec.checksum_report().c_str());
     }
 
+    // Failure taxonomy: the sweep completes under --keep-going, but any
+    // non-passed cell is reported and turns into a nonzero exit below.
+    const bool all_passed = exec.all_passed();
+    std::printf("%s", exec.status_report().c_str());
+
     std::string details;
     if (!exec.checksums_consistent(&details)) {
       std::fprintf(stderr, "CHECKSUM MISMATCH:\n%s", details.c_str());
       return 1;
     }
-    std::printf("checksums consistent across %zu results\n",
-                exec.results().size());
+    std::printf("checksums consistent across passed results\n");
     exec.write_profiles();
     if (!params.output_dir.empty()) {
-      std::printf("profiles written to %s/\n", params.output_dir.c_str());
+      std::printf("profiles written to %s/ (progress in %s)\n",
+                  params.output_dir.c_str(), exec.progress_path().c_str());
     }
 
     // Caliper-style config: a runtime-report spec prints the hierarchical
@@ -142,9 +155,15 @@ int main(int argc, char** argv) {
         }
       }
     }
-    return 0;
-  } catch (const std::exception& e) {
+    return all_passed ? 0 : 4;
+  } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n(see rajaperf --help)\n", e.what());
     return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown exception\n");
+    return 70;
   }
 }

@@ -9,6 +9,9 @@
 //   rperf-report out/ --stats Stream_TRIAD time
 //   rperf-report out/ --groupby tuning
 //   rperf-report baseline/ --compare candidate/ --threshold 1.1
+//
+// Exit codes: 0 ok; 1 read/analysis error; 2 usage error; 3 regressions
+// flagged by --compare; 70 unknown (non-std::exception) error.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -82,5 +85,8 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown exception\n");
+    return 70;
   }
 }
