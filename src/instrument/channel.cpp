@@ -75,6 +75,14 @@ void Channel::attribute_metric(const std::string& name, double value) {
   stack_.back()->metrics[name] += value;
 }
 
+void Channel::attribute_metric_at(const std::string& region,
+                                  const std::string& name, double value) {
+  if (region.empty()) {
+    throw AnnotationError("attribute_metric_at: empty region name");
+  }
+  root_->child(region).metrics[name] += value;
+}
+
 void Channel::set_metadata(const std::string& key, const std::string& value) {
   metadata_[key] = value;
 }

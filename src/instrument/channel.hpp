@@ -65,6 +65,13 @@ class Channel {
   /// Add `value` to metric `name` on the innermost open region.
   void attribute_metric(const std::string& name, double value);
 
+  /// Add `value` to metric `name` on top-level region `region`, creating it
+  /// if needed, without opening it (visit_count is untouched). Lets callers
+  /// attribute costs measured after a region closed — e.g. the checksum
+  /// pass that validates a kernel region's output.
+  void attribute_metric_at(const std::string& region, const std::string& name,
+                           double value);
+
   /// Record run-level metadata (Adiak substitute).
   void set_metadata(const std::string& key, const std::string& value);
   void set_metadata(const std::string& key, double value);

@@ -32,6 +32,8 @@ std::string Value::string_or(const std::string& key,
 namespace {
 
 void escape_string(const std::string& s, std::string& out) {
+  // +2 quotes; escapes grow the estimate but strings here rarely have any.
+  out.reserve(out.size() + s.size() + 2);
   out += '"';
   for (char c : s) {
     switch (c) {
@@ -67,6 +69,24 @@ void format_number(double d, std::string& out) {
   } else {
     out += "null";  // JSON has no NaN/Inf
   }
+}
+
+/// Rough serialized size, used to pre-reserve the output buffer so the
+/// per-cell hot path (progress.jsonl lines, profile dumps) appends into
+/// one allocation instead of growing through many small reallocations.
+std::size_t estimate_size(const Value& v) {
+  if (v.is_null() || v.is_bool()) return 5;
+  if (v.is_number()) return 24;
+  if (v.is_string()) return v.as_string().size() + 8;
+  std::size_t total = 4;
+  if (v.is_array()) {
+    for (const Value& e : v.as_array()) total += estimate_size(e) + 4;
+    return total;
+  }
+  for (const auto& [k, e] : v.as_object()) {
+    total += k.size() + estimate_size(e) + 8;
+  }
+  return total;
 }
 
 struct Dumper {
@@ -285,6 +305,7 @@ struct Parser {
 
 std::string Value::dump(int indent) const {
   Dumper d{indent, {}};
+  d.out.reserve(estimate_size(*this));
   d.dump(*this, 0);
   return d.out;
 }

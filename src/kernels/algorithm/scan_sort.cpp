@@ -102,7 +102,7 @@ void SORT::runVariant(VariantID vid) {
   const Index_type n = actual_prob_size();
   // Sort scrambled copies so every repetition does full work.
   for (Index_type r = 0; r < run_reps(); ++r) {
-    std::vector<double> work = m_a;
+    suite::Real_vec work = m_a;
     switch (vid) {
       case VariantID::Base_Seq:
       case VariantID::Lambda_Seq:
@@ -162,8 +162,8 @@ void SORTPAIRS::runVariant(VariantID vid) {
   using namespace ::rperf::port;
   const Index_type n = actual_prob_size();
   for (Index_type r = 0; r < run_reps(); ++r) {
-    std::vector<double> keys = m_a;
-    std::vector<double> values = m_b;
+    suite::Real_vec keys = m_a;
+    suite::Real_vec values = m_b;
     switch (vid) {
       case VariantID::Base_Seq:
       case VariantID::Lambda_Seq: {
@@ -174,7 +174,7 @@ void SORTPAIRS::runVariant(VariantID vid) {
                            return keys[static_cast<std::size_t>(a)] <
                                   keys[static_cast<std::size_t>(b)];
                          });
-        std::vector<double> k2(static_cast<std::size_t>(n)),
+        suite::Real_vec k2(static_cast<std::size_t>(n)),
             v2(static_cast<std::size_t>(n));
         for (Index_type i = 0; i < n; ++i) {
           k2[static_cast<std::size_t>(i)] =

@@ -20,7 +20,9 @@ using suite::VariantID;
 
 /// Declares a kernel class with the standard member block (five double
 /// arrays, two int arrays, two scalars) plus any extra members passed as
-/// trailing arguments.
+/// trailing arguments. Working sets are pool-backed (suite::Real_vec /
+/// suite::Int_vec): 64-byte aligned, recycled across cells, and default-
+/// initialized on resize since setUp always overwrites them.
 #define RPERF_DECLARE_KERNEL(Name, ...)                                  \
   class Name : public ::rperf::suite::KernelBase {                       \
    public:                                                               \
@@ -33,8 +35,8 @@ using suite::VariantID;
     void tearDown(::rperf::suite::VariantID vid) override;               \
                                                                          \
    private:                                                              \
-    std::vector<double> m_a, m_b, m_c, m_d, m_e;                         \
-    std::vector<int> m_ia, m_ib;                                         \
+    ::rperf::suite::Real_vec m_a, m_b, m_c, m_d, m_e;                    \
+    ::rperf::suite::Int_vec m_ia, m_ib;                                  \
     double m_s0 = 0.0, m_s1 = 0.0;                                       \
     __VA_ARGS__                                                          \
   }

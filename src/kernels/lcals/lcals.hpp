@@ -16,7 +16,7 @@ RPERF_DECLARE_KERNEL(GEN_LIN_RECUR, port::Index_type m_nbands = 0;
                      port::Index_type m_band_len = 0;);
 RPERF_DECLARE_KERNEL(HYDRO_1D);
 RPERF_DECLARE_KERNEL(HYDRO_2D, port::Index_type m_jn = 0, m_kn = 0;
-                     std::vector<double> m_f, m_g, m_h, m_p, m_q;);
+                     suite::Real_vec m_f, m_g, m_h, m_p, m_q;);
 RPERF_DECLARE_KERNEL(INT_PREDICT);
 RPERF_DECLARE_KERNEL(PLANCKIAN);
 RPERF_DECLARE_KERNEL(TRIDIAG_ELIM);

@@ -1,0 +1,162 @@
+#include "mem/pool.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "faults/injector.hpp"
+
+namespace rperf::mem {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 64;  // keeps the user pointer 64-aligned
+static_assert(kHeaderBytes >= sizeof(std::uint64_t) + sizeof(std::size_t));
+static_assert(kHeaderBytes % Pool::kAlignment == 0);
+
+struct RawHeader {
+  std::uint64_t magic;
+  std::size_t chunk_bytes;
+};
+
+RawHeader* header_of(void* user) {
+  return reinterpret_cast<RawHeader*>(static_cast<char*>(user) - kHeaderBytes);
+}
+
+}  // namespace
+
+Pool::~Pool() {
+#ifdef RPERF_MEM_DIAG
+  const PoolStats s = stats();
+  std::fprintf(stderr,
+               "[rperf::mem] pool high-water %zu bytes, reserved %zu bytes, "
+               "%llu allocs (%llu reused, %llu from OS)\n",
+               s.high_water_bytes, s.bytes_reserved(),
+               static_cast<unsigned long long>(s.alloc_calls),
+               static_cast<unsigned long long>(s.reuse_hits),
+               static_cast<unsigned long long>(s.os_allocs));
+#endif
+  release();
+}
+
+std::size_t Pool::size_class_bytes(std::size_t bytes) {
+  std::size_t c = kMinClassBytes;
+  while (c < bytes) c <<= 1;
+  return c;
+}
+
+std::size_t Pool::class_index(std::size_t class_bytes) {
+  std::size_t idx = 0;
+  for (std::size_t c = kMinClassBytes; c < class_bytes; c <<= 1) ++idx;
+  return idx;
+}
+
+void* Pool::os_allocate(std::size_t class_bytes, std::uint64_t magic) {
+  void* raw = ::operator new(kHeaderBytes + class_bytes,
+                             std::align_val_t{kAlignment});
+  auto* h = static_cast<RawHeader*>(raw);
+  h->magic = magic;
+  h->chunk_bytes = class_bytes;
+  return static_cast<char*>(raw) + kHeaderBytes;
+}
+
+void Pool::os_free(void* raw) noexcept {
+  ::operator delete(raw, std::align_val_t{kAlignment});
+}
+
+void* Pool::allocate(std::size_t bytes) {
+  // Fault hook first: an injected alloc@KERNEL failure must throw before any
+  // bookkeeping, exactly as a real OOM would.
+  faults::injector().on_alloc(bytes);
+
+  const std::size_t class_bytes = size_class_bytes(bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.alloc_calls;
+
+  if (enabled_) {
+    const std::size_t idx = class_index(class_bytes);
+    if (idx < free_lists_.size() && !free_lists_[idx].empty()) {
+      void* raw = free_lists_[idx].back();
+      free_lists_[idx].pop_back();
+      ++stats_.reuse_hits;
+      stats_.bytes_free -= class_bytes;
+      stats_.bytes_in_use += class_bytes;
+      stats_.high_water_bytes =
+          std::max(stats_.high_water_bytes, stats_.bytes_in_use);
+      return static_cast<char*>(raw) + kHeaderBytes;
+    }
+  }
+
+  void* user = os_allocate(class_bytes,
+                           enabled_ ? kMagicPooled : kMagicPassthrough);
+  ++stats_.os_allocs;
+  stats_.bytes_in_use += class_bytes;
+  stats_.high_water_bytes =
+      std::max(stats_.high_water_bytes, stats_.bytes_in_use);
+  return user;
+}
+
+void Pool::deallocate(void* p, std::size_t /*bytes*/) noexcept {
+  if (p == nullptr) return;
+  RawHeader* h = header_of(p);
+  const std::size_t class_bytes = h->chunk_bytes;
+  void* raw = h;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytes_in_use -= class_bytes;
+
+  // Chunks born on the passthrough path — or any chunk when the pool is
+  // currently disabled — go straight back to the OS.
+  if (h->magic != kMagicPooled || !enabled_) {
+    os_free(raw);
+    return;
+  }
+
+  const std::size_t idx = class_index(class_bytes);
+  if (free_lists_.size() <= idx) free_lists_.resize(idx + 1);
+  free_lists_[idx].push_back(raw);
+  stats_.bytes_free += class_bytes;
+}
+
+void Pool::release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& list : free_lists_) {
+    for (void* raw : list) os_free(raw);
+    list.clear();
+  }
+  stats_.bytes_free = 0;
+}
+
+PoolStats Pool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Pool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.high_water_bytes = stats_.bytes_in_use;
+  stats_.alloc_calls = 0;
+  stats_.reuse_hits = 0;
+  stats_.os_allocs = 0;
+}
+
+void Pool::set_enabled(bool on) {
+  bool drop = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drop = enabled_ && !on;
+    enabled_ = on;
+  }
+  if (drop) release();  // disabled pool should hold no cached memory
+}
+
+bool Pool::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+Pool& pool() {
+  static Pool instance;
+  return instance;
+}
+
+}  // namespace rperf::mem

@@ -1,0 +1,31 @@
+// Fixed-size block decomposition over forall.
+//
+// `forall_blocked<Policy>(n, block, body)` splits [0, n) into consecutive
+// blocks of `block` elements (last one short) and dispatches one body call
+// per block through `forall<Policy>` over the block indices. Because the
+// block boundaries depend only on (n, block) — never on the thread count or
+// schedule — any per-block computation that is folded in block order
+// afterwards yields results identical under seq and OpenMP policies. This
+// is the backbone of the deterministic parallel fills and checksums in
+// rperf::mem / suite::data_utils.
+#pragma once
+
+#include <algorithm>
+
+#include "port/forall.hpp"
+#include "port/range.hpp"
+
+namespace rperf::port {
+
+template <typename Policy, typename BlockBody>
+inline void forall_blocked(Index_type n, Index_type block_elems,
+                           BlockBody&& body) {
+  if (n <= 0) return;
+  const Index_type nblocks = (n + block_elems - 1) / block_elems;
+  forall<Policy>(RangeSegment(0, nblocks), [&](Index_type b) {
+    const Index_type begin = b * block_elems;
+    body(begin, std::min(block_elems, n - begin));
+  });
+}
+
+}  // namespace rperf::port

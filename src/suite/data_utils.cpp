@@ -1,17 +1,24 @@
 #include "suite/data_utils.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <cstdlib>
 
-#include "faults/injector.hpp"
+#include <omp.h>
+
+#include "mem/cache.hpp"
+#include "mem/fill.hpp"
+#include "port/blocked.hpp"
 
 namespace rperf::suite {
 
 namespace {
 
-/// Minimal LCG (numerical recipes constants); not for statistics, only for
-/// reproducible, platform-independent fill data.
+std::atomic<bool> g_legacy_setup{false};
+
+/// The original serial LCG (numerical recipes constants). Kept only for
+/// legacy-setup mode; the optimized fills in mem::fill_* reproduce this
+/// stream bit-for-bit via jump-ahead.
 class Lcg {
  public:
   explicit Lcg(std::uint32_t seed) : state_(seed ? seed : 1u) {}
@@ -27,42 +34,68 @@ class Lcg {
   std::uint32_t state_;
 };
 
-}  // namespace
+constexpr Index_type kBlock = mem::kFillBlockElems;
 
-void init_data(std::vector<double>& v, Index_type n, std::uint32_t seed) {
-  faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(double));
-  v.resize(static_cast<std::size_t>(n));
-  Lcg rng(seed);
-  for (auto& x : v) x = rng.next_unit();
-}
-
-void init_data_const(std::vector<double>& v, Index_type n, double value) {
-  faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(double));
-  v.assign(static_cast<std::size_t>(n), value);
-}
-
-void init_data_ramp(std::vector<double>& v, Index_type n, double lo,
-                    double hi) {
-  faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(double));
-  v.resize(static_cast<std::size_t>(n));
-  const double step = n > 0 ? (hi - lo) / static_cast<double>(n) : 0.0;
-  for (Index_type i = 0; i < n; ++i) {
-    v[static_cast<std::size_t>(i)] = lo + static_cast<double>(i) * step;
+/// One block of the shared checksum: four stride-4 double lanes (breaking
+/// the serial FP dependency chain), folded lane 0..3 into a long double
+/// partial. Depends only on (data, begin, len).
+///
+/// noinline: the serial and parallel checksum paths must perform the exact
+/// same floating-point operations. Inlined into two different contexts
+/// (plain loop vs. the OpenMP-outlined lambda) the compiler may optimize
+/// the block body differently per call site, producing bit-different
+/// partials; a single out-of-line instantiation guarantees one codegen.
+template <typename T>
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+long double
+checksum_block(const T* data, Index_type begin, Index_type len) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  int wi = static_cast<int>(begin % 7);  // weight index of element `begin`
+  for (Index_type k = 0; k < len; ++k) {
+    lane[k & 3] +=
+        static_cast<double>(data[begin + k]) * static_cast<double>(wi + 1);
+    wi = (wi == 6) ? 0 : wi + 1;
   }
+  long double partial = static_cast<long double>(lane[0]);
+  partial += static_cast<long double>(lane[1]);
+  partial += static_cast<long double>(lane[2]);
+  partial += static_cast<long double>(lane[3]);
+  return partial;
 }
 
-void init_int_data(std::vector<int>& v, Index_type n, int lo, int hi,
-                   std::uint32_t seed) {
-  faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(int));
-  v.resize(static_cast<std::size_t>(n));
-  Lcg rng(seed);
-  const std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;
-  for (auto& x : v) {
-    x = lo + static_cast<int>(rng.next() % span);
+/// Shared blocked checksum. The parallel path stores each block partial at
+/// its block index and folds serially afterwards; the serial path folds as
+/// it goes. Both perform the identical sequence of long double additions
+/// (partial_0, partial_1, ...), so the result is thread-count invariant.
+template <typename T>
+long double checksum_blocked(const T* data, Index_type n) {
+  const Index_type nblocks = (n + kBlock - 1) / kBlock;
+  if (n >= mem::kParallelFillThreshold && omp_get_max_threads() > 1) {
+    std::vector<long double> partials(static_cast<std::size_t>(nblocks));
+    port::forall_blocked<port::omp_parallel_for_exec>(
+        n, kBlock, [&](Index_type begin, Index_type len) {
+          partials[static_cast<std::size_t>(begin / kBlock)] =
+              checksum_block(data, begin, len);
+        });
+    long double sum = 0.0L;
+    for (Index_type b = 0; b < nblocks; ++b) {
+      sum += partials[static_cast<std::size_t>(b)];
+    }
+    return sum;
   }
+  long double sum = 0.0L;
+  for (Index_type b = 0; b < nblocks; ++b) {
+    const Index_type begin = b * kBlock;
+    sum += checksum_block(data, begin, std::min(kBlock, n - begin));
+  }
+  return sum;
 }
 
-long double calc_checksum(const double* data, Index_type n) {
+/// Pre-PR element-at-a-time checksum (legacy-setup mode only).
+template <typename T>
+long double checksum_legacy(const T* data, Index_type n) {
   long double sum = 0.0L;
   for (Index_type i = 0; i < n; ++i) {
     sum += static_cast<long double>(data[i]) *
@@ -71,17 +104,65 @@ long double calc_checksum(const double* data, Index_type n) {
   return sum;
 }
 
-long double calc_checksum(const std::vector<double>& data) {
-  return calc_checksum(data.data(), static_cast<Index_type>(data.size()));
+}  // namespace
+
+void set_legacy_setup(bool on) {
+  g_legacy_setup.store(on, std::memory_order_relaxed);
+}
+
+bool legacy_setup() { return g_legacy_setup.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+void fill_random_dispatch(double* dst, Index_type n, std::uint32_t seed) {
+  if (legacy_setup()) {
+    Lcg rng(seed);
+    for (Index_type i = 0; i < n; ++i) dst[i] = rng.next_unit();
+    return;
+  }
+  mem::data_cache().fill_random(dst, n, seed);
+}
+
+void fill_const_dispatch(double* dst, Index_type n, double value) {
+  if (legacy_setup()) {
+    std::fill(dst, dst + n, value);
+    return;
+  }
+  mem::fill_const(dst, n, value);
+}
+
+void fill_ramp_dispatch(double* dst, Index_type n, double lo, double hi) {
+  const double step = n > 0 ? (hi - lo) / static_cast<double>(n) : 0.0;
+  if (legacy_setup()) {
+    for (Index_type i = 0; i < n; ++i) {
+      dst[i] = lo + static_cast<double>(i) * step;
+    }
+    return;
+  }
+  mem::fill_ramp(dst, n, lo, step);
+}
+
+void fill_int_random_dispatch(int* dst, Index_type n, int lo, int hi,
+                              std::uint32_t seed) {
+  if (legacy_setup()) {
+    Lcg rng(seed);
+    const std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;
+    for (Index_type i = 0; i < n; ++i) {
+      dst[i] = lo + static_cast<int>(rng.next() % span);
+    }
+    return;
+  }
+  mem::data_cache().fill_int_random(dst, n, lo, hi, seed);
+}
+
+}  // namespace detail
+
+long double calc_checksum(const double* data, Index_type n) {
+  return legacy_setup() ? checksum_legacy(data, n) : checksum_blocked(data, n);
 }
 
 long double calc_checksum(const int* data, Index_type n) {
-  long double sum = 0.0L;
-  for (Index_type i = 0; i < n; ++i) {
-    sum += static_cast<long double>(data[i]) *
-           static_cast<long double>((i % 7) + 1);
-  }
-  return sum;
+  return legacy_setup() ? checksum_legacy(data, n) : checksum_blocked(data, n);
 }
 
 bool checksums_match(long double a, long double b, double rel_tol) {

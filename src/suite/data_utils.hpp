@@ -3,35 +3,114 @@
 // All variants of a kernel must see bit-identical input data so their
 // checksums can be compared; initialization therefore uses a fixed-seed
 // linear congruential generator rather than std::random_device.
+//
+// Since the rperf::mem subsystem landed, kernel working sets live in
+// Real_vec / Int_vec — std::vectors backed by the pooled arena allocator —
+// and the fills run blocked (optionally in parallel) via mem::fill_* with
+// jump-ahead, producing streams bit-identical to the original serial LCG
+// for any thread count. Random datasets are additionally memoized by
+// mem::data_cache() so repeated variants of a kernel copy rather than
+// regenerate their inputs. `set_legacy_setup(true)` restores the original
+// serial fill and checksum implementations; bench/sweep_throughput uses it
+// (together with disabling the pool and cache) as the pre-PR baseline.
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
+#include "faults/injector.hpp"
+#include "mem/pool.hpp"
 #include "suite/types.hpp"
 
 namespace rperf::suite {
 
+/// Kernel working-set vector types: pooled, 64-byte aligned, and default-
+/// initialized on resize (every element is overwritten by an init_data*
+/// call, so the usual zero-fill would be wasted work).
+using Real_vec = std::vector<double, mem::PoolAllocator<double>>;
+using Int_vec = std::vector<int, mem::PoolAllocator<int>>;
+
+/// Legacy-setup mode: route fills and checksums through the original
+/// serial implementations (single LCG chain, element-at-a-time long double
+/// checksum). Only bench/sweep_throughput should turn this on.
+void set_legacy_setup(bool on);
+[[nodiscard]] bool legacy_setup();
+
+namespace detail {
+
+void fill_random_dispatch(double* dst, Index_type n, std::uint32_t seed);
+void fill_const_dispatch(double* dst, Index_type n, double value);
+void fill_ramp_dispatch(double* dst, Index_type n, double lo, double hi);
+void fill_int_random_dispatch(int* dst, Index_type n, int lo, int hi,
+                              std::uint32_t seed);
+
+template <typename T, typename Alloc>
+void prepare(std::vector<T, Alloc>& v, Index_type n) {
+  if constexpr (!std::is_same_v<Alloc, mem::PoolAllocator<T>>) {
+    // Pooled vectors hit the injector inside Pool::allocate; anything else
+    // bypasses the pool, so fire the alloc fault hook here to keep the
+    // PR-1 failure surface intact.
+    faults::injector().on_alloc(static_cast<std::size_t>(n) * sizeof(T));
+  }
+  v.resize(static_cast<std::size_t>(n));
+}
+
+}  // namespace detail
+
 /// Deterministic uniform doubles in (0, 1).
-void init_data(std::vector<double>& v, Index_type n, std::uint32_t seed = 7u);
+template <typename Alloc>
+void init_data(std::vector<double, Alloc>& v, Index_type n,
+               std::uint32_t seed = 7u) {
+  detail::prepare(v, n);
+  detail::fill_random_dispatch(v.data(), n, seed);
+}
 
 /// Fill with a constant.
-void init_data_const(std::vector<double>& v, Index_type n, double value);
+template <typename Alloc>
+void init_data_const(std::vector<double, Alloc>& v, Index_type n,
+                     double value) {
+  detail::prepare(v, n);
+  detail::fill_const_dispatch(v.data(), n, value);
+}
 
 /// Linear ramp: v[i] = lo + i * (hi - lo) / n.
-void init_data_ramp(std::vector<double>& v, Index_type n, double lo,
-                    double hi);
+template <typename Alloc>
+void init_data_ramp(std::vector<double, Alloc>& v, Index_type n, double lo,
+                    double hi) {
+  detail::prepare(v, n);
+  detail::fill_ramp_dispatch(v.data(), n, lo, hi);
+}
 
 /// Deterministic uniform integers in [lo, hi].
-void init_int_data(std::vector<int>& v, Index_type n, int lo, int hi,
-                   std::uint32_t seed = 7u);
+template <typename Alloc>
+void init_int_data(std::vector<int, Alloc>& v, Index_type n, int lo, int hi,
+                   std::uint32_t seed = 7u) {
+  detail::prepare(v, n);
+  detail::fill_int_random_dispatch(v.data(), n, lo, hi, seed);
+}
 
-/// Order-stable weighted checksum: sum of data[i] * w(i) with a small
-/// repeating weight so permutations of the data are (almost surely)
-/// detected. Accumulates in long double.
+/// Order-stable weighted checksum: sum of data[i] * w(i) with w(i) =
+/// (i % 7) + 1, so permutations of the data are (almost surely) detected.
+///
+/// The blocking and fold order are explicit and fixed: consecutive
+/// 4096-element blocks; within a block four stride-4 double lanes are
+/// accumulated and folded lane 0..3 into a long double block partial;
+/// block partials are folded in ascending block order into the result.
+/// Every quantity depends only on (data, n), never on the thread count or
+/// schedule, so the value is bit-identical for 1, 2, or 8 threads and for
+/// pooled, cached, or freshly allocated buffers.
 [[nodiscard]] long double calc_checksum(const double* data, Index_type n);
-[[nodiscard]] long double calc_checksum(const std::vector<double>& data);
 [[nodiscard]] long double calc_checksum(const int* data, Index_type n);
+
+template <typename Alloc>
+[[nodiscard]] long double calc_checksum(const std::vector<double, Alloc>& v) {
+  return calc_checksum(v.data(), static_cast<Index_type>(v.size()));
+}
+template <typename Alloc>
+[[nodiscard]] long double calc_checksum(const std::vector<int, Alloc>& v) {
+  return calc_checksum(v.data(), static_cast<Index_type>(v.size()));
+}
 
 /// Relative agreement test used for cross-variant validation.
 [[nodiscard]] bool checksums_match(long double a, long double b,

@@ -10,6 +10,8 @@
 
 #include "faults/injector.hpp"
 #include "instrument/json.hpp"
+#include "mem/cache.hpp"
+#include "mem/pool.hpp"
 #include "suite/data_utils.hpp"
 
 namespace rperf::suite {
@@ -63,6 +65,10 @@ RunStatus Executor::run_cell_once(const Cell& cell, cali::Channel& channel,
   r.checksum = cell.kernel->checksum(cell.vid, cell.tuning);
   r.problem_size = cell.kernel->actual_prob_size();
   r.reps = cell.kernel->run_reps();
+  r.setup_ms = cell.kernel->last_setup_sec() * 1e3;
+  r.checksum_ms = cell.kernel->last_checksum_sec() * 1e3;
+  r.pool_hits = cell.kernel->last_pool_hits();
+  r.cache_hits = cell.kernel->last_cache_hits();
   if (!std::isfinite(static_cast<double>(r.checksum))) {
     r.error = "checksum is not finite";
     return RunStatus::ChecksumInvalid;
@@ -84,12 +90,20 @@ void Executor::append_progress(const RunResult& r) const {
   o["problem_size"] = static_cast<std::int64_t>(r.problem_size);
   o["reps"] = static_cast<std::int64_t>(r.reps);
   o["attempts"] = r.attempts;
+  o["setup_ms"] = r.setup_ms;
+  o["checksum_ms"] = r.checksum_ms;
+  o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
+  o["cache_hits"] = static_cast<std::int64_t>(r.cache_hits);
   if (!r.error.empty()) o["error"] = r.error;
   std::ofstream os(path, std::ios::app);
   if (!os) {
     throw std::runtime_error("cannot append to progress file: " + path);
   }
-  os << json::Value(std::move(o)).dump() << '\n';
+  // One buffered write per cell: dump() pre-sizes the line, so the append
+  // is a single syscall-sized chunk instead of many small streamed pieces.
+  std::string line = json::Value(std::move(o)).dump();
+  line.push_back('\n');
+  os.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 
 std::map<std::string, RunResult> Executor::load_progress() const {
@@ -117,6 +131,12 @@ std::map<std::string, RunResult> Executor::load_progress() const {
       r.problem_size =
           static_cast<Index_type>(v.number_or("problem_size", 0.0));
       r.reps = static_cast<Index_type>(v.number_or("reps", 0.0));
+      r.setup_ms = v.number_or("setup_ms", 0.0);
+      r.checksum_ms = v.number_or("checksum_ms", 0.0);
+      r.pool_hits =
+          static_cast<std::uint64_t>(v.number_or("pool_hits", 0.0));
+      r.cache_hits =
+          static_cast<std::uint64_t>(v.number_or("cache_hits", 0.0));
       r.error = v.string_or("error", "");
       out[cell_key(r.kernel, r.variant, r.tuning_name)] = r;  // latest wins
     } catch (const std::exception&) {
@@ -133,6 +153,11 @@ void Executor::run() {
   // (Re)arm the process-wide injector from this run's params; an empty
   // spec disarms it, so consecutive in-process runs are self-contained.
   faults::injector().configure(params_.fault_spec, params_.fault_seed);
+
+  // Fresh memory-subsystem counters so per-run metadata describes this
+  // sweep only (the pool keeps its cached chunks — that reuse is the point).
+  mem::pool().reset_stats();
+  mem::data_cache().reset_stats();
 
   // The sweep plan: every (kernel, variant, tuning) cell passing filters.
   std::vector<Cell> cells;
@@ -213,6 +238,8 @@ void Executor::run() {
 
   // Run-level metadata (the Adiak substitute), plus the failure taxonomy
   // of each (variant, tuning) slice of the sweep.
+  const mem::PoolStats pool_stats = mem::pool().stats();
+  const mem::CacheStats cache_stats = mem::data_cache().stats();
   for (auto& [key, channel] : channels_) {
     channel.set_metadata("variant", to_string(key.first));
     channel.set_metadata("tuning", key.second);
@@ -239,6 +266,20 @@ void Executor::run() {
                          std::to_string(counts[RunStatus::TimedOut]));
     channel.set_metadata("cells_skipped",
                          std::to_string(counts[RunStatus::Skipped]));
+    // Memory-subsystem summary: how much memory the sweep reserved and how
+    // well setup amortized across cells (process-wide, same in every slice).
+    channel.set_metadata("pool_bytes_reserved",
+                         std::to_string(pool_stats.bytes_reserved()));
+    channel.set_metadata("pool_high_water_bytes",
+                         std::to_string(pool_stats.high_water_bytes));
+    channel.set_metadata("pool_alloc_calls",
+                         std::to_string(pool_stats.alloc_calls));
+    channel.set_metadata("pool_reuse_hits",
+                         std::to_string(pool_stats.reuse_hits));
+    channel.set_metadata("cache_hits", std::to_string(cache_stats.hits));
+    channel.set_metadata("cache_misses", std::to_string(cache_stats.misses));
+    channel.set_metadata("cache_stored_bytes",
+                         std::to_string(cache_stats.stored_bytes));
     for (const auto& [k, v] : params_.metadata) {
       channel.set_metadata(k, v);
     }

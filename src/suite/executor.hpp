@@ -44,6 +44,14 @@ struct RunResult {
   std::string error;  ///< diagnostic for non-Passed statuses
   int attempts = 1;   ///< executions performed (> 1 after retries)
   bool restored = false;  ///< true when taken from progress.jsonl (--resume)
+
+  // Setup-cost observability (rperf::mem): milliseconds spent initializing
+  // data / computing checksums across all passes, and how much of the
+  // working set came from the pool free lists / dataset cache.
+  double setup_ms = 0.0;
+  double checksum_ms = 0.0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t cache_hits = 0;
 };
 
 class Executor {

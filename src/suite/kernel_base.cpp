@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "faults/injector.hpp"
+#include "mem/cache.hpp"
+#include "mem/pool.hpp"
 
 namespace rperf::suite {
 
@@ -94,6 +96,11 @@ void KernelBase::execute(VariantID vid, std::size_t tuning,
   double best = -1.0;
   long double csum = 0.0L;
 
+  last_setup_sec_ = 0.0;
+  last_checksum_sec_ = 0.0;
+  const mem::PoolStats pool_before = mem::pool().stats();
+  const mem::CacheStats cache_before = mem::data_cache().stats();
+
   faults::ScopedCell cell(name_);
   faults::injector().on_lifecycle(name_);
   const auto budget_start = Clock::now();
@@ -106,7 +113,12 @@ void KernelBase::execute(VariantID vid, std::size_t tuning,
     // Guarded lifecycle: if any stage throws, attempt tearDown so a failed
     // cell releases its data and cannot poison subsequent cells.
     try {
-      setUp(vid);
+      {
+        const auto setup_start = Clock::now();
+        setUp(vid);
+        last_setup_sec_ +=
+            std::chrono::duration<double>(Clock::now() - setup_start).count();
+      }
       {
         cali::ScopedRegion region(channel, name_);
         const auto start = Clock::now();
@@ -129,7 +141,12 @@ void KernelBase::execute(VariantID vid, std::size_t tuning,
         channel.attribute_metric("problem_size",
                                  static_cast<double>(actual_size_));
       }
-      csum = computeChecksum(vid);
+      {
+        const auto csum_start = Clock::now();
+        csum = computeChecksum(vid);
+        last_checksum_sec_ +=
+            std::chrono::duration<double>(Clock::now() - csum_start).count();
+      }
       csum = faults::injector().corrupt_checksum(name_, csum);
     } catch (...) {
       try {
@@ -152,6 +169,22 @@ void KernelBase::execute(VariantID vid, std::size_t tuning,
       }
     }
   }
+
+  const mem::PoolStats pool_after = mem::pool().stats();
+  const mem::CacheStats cache_after = mem::data_cache().stats();
+  last_pool_hits_ = pool_after.reuse_hits - pool_before.reuse_hits;
+  last_cache_hits_ = cache_after.hits - cache_before.hits;
+
+  // Setup-cost observability: setup/checksum time sits outside the kernel
+  // region's inclusive_time_sec, so recording it as region metrics never
+  // perturbs the measured kernel time. attribute_metric_at leaves the
+  // region's visit_count untouched.
+  channel.attribute_metric_at(name_, "setup_ms", last_setup_sec_ * 1e3);
+  channel.attribute_metric_at(name_, "checksum_ms", last_checksum_sec_ * 1e3);
+  channel.attribute_metric_at(name_, "pool_hit",
+                              static_cast<double>(last_pool_hits_));
+  channel.attribute_metric_at(name_, "cache_hit",
+                              static_cast<double>(last_cache_hits_));
 
   time_per_rep_[{vid, tuning}] = best;
   checksums_[{vid, tuning}] = csum;

@@ -104,6 +104,17 @@ class KernelBase {
   void restore_result(VariantID vid, std::size_t tuning, double time_per_rep,
                       long double checksum);
 
+  // ----- setup-cost observability (valid after execute()) -----
+  /// Total seconds spent in setUp across all passes of the last execute().
+  [[nodiscard]] double last_setup_sec() const { return last_setup_sec_; }
+  /// Total seconds spent in computeChecksum across all passes.
+  [[nodiscard]] double last_checksum_sec() const { return last_checksum_sec_; }
+  /// Pool free-list hits / dataset-cache hits during the last execute().
+  [[nodiscard]] std::uint64_t last_pool_hits() const { return last_pool_hits_; }
+  [[nodiscard]] std::uint64_t last_cache_hits() const {
+    return last_cache_hits_;
+  }
+
  protected:
   // ----- subclass lifecycle hooks -----
   virtual void setUp(VariantID vid) = 0;
@@ -154,6 +165,11 @@ class KernelBase {
 
   std::map<std::pair<VariantID, std::size_t>, double> time_per_rep_;
   std::map<std::pair<VariantID, std::size_t>, long double> checksums_;
+
+  double last_setup_sec_ = 0.0;
+  double last_checksum_sec_ = 0.0;
+  std::uint64_t last_pool_hits_ = 0;
+  std::uint64_t last_cache_hits_ = 0;
 };
 
 }  // namespace rperf::suite

@@ -220,6 +220,24 @@ TEST_F(FaultsTest, AllocFaultBecomesFailed) {
   EXPECT_TRUE(exec.profiles().empty());
 }
 
+TEST_F(FaultsTest, AllocFaultThroughPoolStillDrivesRetry) {
+  // Since rperf::mem landed, kernel vectors allocate through the pooled
+  // arena; the alloc fault hook now fires inside mem::Pool::allocate. A
+  // budget-1 alloc fault must still poison exactly one attempt and let the
+  // retry pass — proving the pool kept the PR-1 failure surface intact.
+  RunParams p = small_params();
+  p.kernel_filter = {"Stream_TRIAD"};
+  p.variant_filter = {VariantID::Base_Seq};
+  p.retries = 1;
+  p.fault_spec = "alloc@Stream_TRIAD:1";
+  Executor exec(p);
+  exec.run();
+  ASSERT_EQ(exec.results().size(), 1u);
+  EXPECT_EQ(exec.results()[0].status, RunStatus::Passed);
+  EXPECT_EQ(exec.results()[0].attempts, 2);
+  EXPECT_TRUE(exec.all_passed());
+}
+
 TEST_F(FaultsTest, CorruptChecksumBecomesChecksumInvalid) {
   RunParams p = small_params();
   p.kernel_filter = {"Stream_TRIAD", "Stream_ADD"};

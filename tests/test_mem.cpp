@@ -1,0 +1,315 @@
+// Tests for the rperf::mem subsystem: size-class pool, dataset cache,
+// deterministic fills, and the blocked checksum's thread invariance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <omp.h>
+
+#include "faults/injector.hpp"
+#include "mem/cache.hpp"
+#include "mem/fill.hpp"
+#include "mem/pool.hpp"
+#include "suite/data_utils.hpp"
+
+namespace {
+
+using namespace rperf;
+
+// ---------------------------------------------------------------- pool
+
+TEST(MemPool, SizeClassRounding) {
+  EXPECT_EQ(mem::Pool::size_class_bytes(0), 64u);
+  EXPECT_EQ(mem::Pool::size_class_bytes(1), 64u);
+  EXPECT_EQ(mem::Pool::size_class_bytes(64), 64u);
+  EXPECT_EQ(mem::Pool::size_class_bytes(65), 128u);
+  EXPECT_EQ(mem::Pool::size_class_bytes(4096), 4096u);
+  EXPECT_EQ(mem::Pool::size_class_bytes(4097), 8192u);
+  EXPECT_EQ(mem::Pool::size_class_bytes((1u << 20) + 1), 2u << 20);
+}
+
+TEST(MemPool, AllocationsAre64ByteAligned) {
+  mem::Pool pool;
+  for (std::size_t bytes : {1u, 63u, 64u, 1000u, 4096u, 100000u}) {
+    void* p = pool.allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u) << bytes;
+    pool.deallocate(p, bytes);
+  }
+}
+
+TEST(MemPool, ResetNotFreeSemantics) {
+  mem::Pool pool;
+  void* p = pool.allocate(10000);  // class 16384
+  auto s = pool.stats();
+  EXPECT_EQ(s.bytes_in_use, 16384u);
+  EXPECT_EQ(s.bytes_free, 0u);
+  EXPECT_EQ(s.os_allocs, 1u);
+
+  pool.deallocate(p, 10000);
+  s = pool.stats();
+  EXPECT_EQ(s.bytes_in_use, 0u);
+  EXPECT_EQ(s.bytes_free, 16384u);  // parked, not returned to the OS
+
+  // Same size class (different byte count) is served from the free list.
+  void* q = pool.allocate(9000);
+  s = pool.stats();
+  EXPECT_EQ(q, p);  // recycled chunk
+  EXPECT_EQ(s.reuse_hits, 1u);
+  EXPECT_EQ(s.os_allocs, 1u);  // no new OS allocation
+  pool.deallocate(q, 9000);
+}
+
+TEST(MemPool, HighWaterTracksPeakInUse) {
+  mem::Pool pool;
+  void* a = pool.allocate(64);
+  void* b = pool.allocate(64);
+  EXPECT_EQ(pool.stats().high_water_bytes, 128u);
+  pool.deallocate(a, 64);
+  pool.deallocate(b, 64);
+  EXPECT_EQ(pool.stats().high_water_bytes, 128u);  // sticky
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().high_water_bytes, 0u);  // restarts from in-use
+}
+
+TEST(MemPool, ReleaseTrimsFreeLists) {
+  mem::Pool pool;
+  void* p = pool.allocate(1 << 16);
+  pool.deallocate(p, 1 << 16);
+  EXPECT_GT(pool.stats().bytes_free, 0u);
+  pool.release();
+  EXPECT_EQ(pool.stats().bytes_free, 0u);
+  EXPECT_EQ(pool.stats().bytes_in_use, 0u);
+}
+
+TEST(MemPool, DisabledModeIsPassthroughAndCrossModeDeallocIsSafe) {
+  mem::Pool pool;
+  // Chunk born pooled, freed while disabled: goes to the OS, not a list.
+  void* pooled = pool.allocate(256);
+  pool.set_enabled(false);
+  pool.deallocate(pooled, 256);
+  EXPECT_EQ(pool.stats().bytes_free, 0u);
+
+  // Chunk born passthrough, freed after re-enabling: header routes it to
+  // the OS rather than poisoning a free list.
+  void* pass = pool.allocate(256);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(pass) % 64, 0u);
+  pool.set_enabled(true);
+  pool.deallocate(pass, 256);
+  EXPECT_EQ(pool.stats().bytes_free, 0u);
+
+  // Disabled mode never reuses.
+  pool.set_enabled(false);
+  void* a = pool.allocate(256);
+  pool.deallocate(a, 256);
+  void* b = pool.allocate(256);
+  pool.deallocate(b, 256);
+  EXPECT_EQ(pool.stats().reuse_hits, 0u);
+}
+
+TEST(MemPool, PoolAllocatorVectorsAreAligned) {
+  suite::Real_vec v(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+  suite::Int_vec w(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % 64, 0u);
+}
+
+// ---------------------------------------------------------------- fills
+
+TEST(MemFill, RandomBitIdenticalToSerialLcg) {
+  for (std::int64_t n : {1, 5, 4095, 4096, 4097, 100000}) {
+    std::vector<double> fast(static_cast<std::size_t>(n));
+    mem::fill_random(fast.data(), n, 31u);
+    std::uint32_t state = 31u;
+    for (std::int64_t i = 0; i < n; ++i) {
+      state = state * 1664525u + 1013904223u;
+      const double ref =
+          (static_cast<double>(state >> 8) + 0.5) / 16777216.0;
+      ASSERT_EQ(0, std::memcmp(&fast[static_cast<std::size_t>(i)], &ref,
+                               sizeof(double)))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(MemFill, IntRandomBitIdenticalToSerialLcg) {
+  const std::int64_t n = 50000;
+  std::vector<int> fast(static_cast<std::size_t>(n));
+  mem::fill_int_random(fast.data(), n, -3, 11, 1201u);
+  std::uint32_t state = 1201u;
+  const std::uint32_t span = static_cast<std::uint32_t>(11 - (-3)) + 1u;
+  for (std::int64_t i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;
+    ASSERT_EQ(fast[static_cast<std::size_t>(i)],
+              -3 + static_cast<int>(state % span))
+        << i;
+  }
+}
+
+TEST(MemFill, ZeroSeedNormalizedLikeSerialLcg) {
+  double a = 0.0, b = 0.0;
+  mem::fill_random(&a, 1, 0u);
+  mem::fill_random(&b, 1, 1u);  // serial Lcg mapped seed 0 to 1
+  EXPECT_EQ(a, b);
+}
+
+TEST(MemFill, LcgSkipMatchesStepping) {
+  std::uint32_t state = 7u;
+  for (std::uint64_t k = 0; k <= 100; ++k) {
+    EXPECT_EQ(mem::lcg_skip(7u, k), state) << k;
+    state = state * 1664525u + 1013904223u;
+  }
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(MemCache, HitOnSameKeyMissOnDifferentKey) {
+  mem::DataCache cache;
+  const std::int64_t n = 8192;  // above kMinElems
+  std::vector<double> a(static_cast<std::size_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n));
+
+  EXPECT_FALSE(cache.fill_random(a.data(), n, 31u));  // miss: generates
+  EXPECT_TRUE(cache.fill_random(b.data(), n, 31u));   // hit: copies
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<std::size_t>(n) * sizeof(double)));
+
+  // Different seed, different n, different pattern: all distinct keys.
+  EXPECT_FALSE(cache.fill_random(a.data(), n, 37u));
+  EXPECT_FALSE(cache.fill_random(a.data(), n / 2, 31u));
+  std::vector<int> ints(static_cast<std::size_t>(n));
+  EXPECT_FALSE(cache.fill_int_random(ints.data(), n, 0, 9, 31u));
+  EXPECT_FALSE(cache.fill_int_random(ints.data(), n, 0, 10, 31u));  // range
+  EXPECT_TRUE(cache.fill_int_random(ints.data(), n, 0, 10, 31u));
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_GT(s.stored_bytes, 0u);
+}
+
+TEST(MemCache, SmallDatasetsAreNotCached) {
+  mem::DataCache cache;
+  const std::int64_t n = 64;  // below kMinElems
+  std::vector<double> a(static_cast<std::size_t>(n));
+  EXPECT_FALSE(cache.fill_random(a.data(), n, 31u));
+  EXPECT_FALSE(cache.fill_random(a.data(), n, 31u));  // still a generate
+  EXPECT_EQ(cache.stats().stored_bytes, 0u);
+}
+
+TEST(MemCache, CapacityBoundSkipsStores) {
+  mem::DataCache cache;
+  cache.set_capacity_bytes(16 * 1024);
+  const std::int64_t n = 8192;  // 64 KiB > capacity
+  std::vector<double> a(static_cast<std::size_t>(n));
+  EXPECT_FALSE(cache.fill_random(a.data(), n, 31u));
+  EXPECT_FALSE(cache.fill_random(a.data(), n, 31u));  // not stored -> miss
+  EXPECT_EQ(cache.stats().stored_bytes, 0u);
+
+  // Data is still correct even when the store is skipped.
+  std::uint32_t state = 31u;
+  state = state * 1664525u + 1013904223u;
+  EXPECT_EQ(a[0], (static_cast<double>(state >> 8) + 0.5) / 16777216.0);
+}
+
+TEST(MemCache, CachedAndFreshBuffersAreBitIdentical) {
+  mem::DataCache cache;
+  const std::int64_t n = 10000;
+  std::vector<double> fresh(static_cast<std::size_t>(n));
+  mem::fill_random(fresh.data(), n, 1409u);
+
+  std::vector<double> first(static_cast<std::size_t>(n));
+  std::vector<double> cached(static_cast<std::size_t>(n));
+  cache.fill_random(first.data(), n, 1409u);
+  ASSERT_TRUE(cache.fill_random(cached.data(), n, 1409u));
+  EXPECT_EQ(0, std::memcmp(fresh.data(), cached.data(),
+                           static_cast<std::size_t>(n) * sizeof(double)));
+}
+
+// ------------------------------------------------------------- checksum
+
+TEST(MemChecksum, ThreadCountInvariance) {
+  const suite::Index_type n = 300000;  // above the parallel threshold
+  suite::Real_vec data;
+  suite::init_data(data, n, 1711u);
+
+  const int saved = omp_get_max_threads();
+  long double sums[3];
+  int idx = 0;
+  for (int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    sums[idx++] = suite::calc_checksum(data);
+  }
+  omp_set_num_threads(saved);
+
+  // Exactly equal, not merely close. (Compared as values, not raw bytes:
+  // x86 long double carries 6 padding bytes of indeterminate content.)
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[0], sums[2]);
+}
+
+TEST(MemChecksum, PooledVsFreshBuffersIdentical) {
+  const suite::Index_type n = 100000;
+  suite::Real_vec pooled;
+  suite::init_data(pooled, n, 1723u);
+  const long double pooled_sum = suite::calc_checksum(pooled);
+
+  std::vector<double> fresh(static_cast<std::size_t>(n));
+  mem::fill_random(fresh.data(), n, 1723u);
+  const long double fresh_sum =
+      suite::calc_checksum(fresh.data(), static_cast<suite::Index_type>(n));
+
+  EXPECT_EQ(pooled_sum, fresh_sum);
+}
+
+TEST(MemChecksum, MatchesLegacyWithinRounding) {
+  const suite::Index_type n = 50000;
+  std::vector<double> data(static_cast<std::size_t>(n));
+  mem::fill_random(data.data(), n, 1747u);
+
+  const long double blocked = suite::calc_checksum(data.data(), n);
+  suite::set_legacy_setup(true);
+  const long double legacy = suite::calc_checksum(data.data(), n);
+  suite::set_legacy_setup(false);
+
+  EXPECT_TRUE(suite::checksums_match(blocked, legacy, 1e-12))
+      << "blocked=" << static_cast<double>(blocked)
+      << " legacy=" << static_cast<double>(legacy);
+}
+
+TEST(MemChecksum, DetectsPermutation) {
+  const suite::Index_type n = 10000;
+  std::vector<double> data(static_cast<std::size_t>(n));
+  mem::fill_random(data.data(), n, 1753u);
+  const long double before = suite::calc_checksum(data.data(), n);
+  std::swap(data[3], data[9000]);
+  const long double after = suite::calc_checksum(data.data(), n);
+  EXPECT_FALSE(suite::checksums_match(before, after, 1e-12));
+}
+
+// --------------------------------------------------- fault integration
+
+TEST(MemFaults, AllocFaultFiresThroughPool) {
+  faults::injector().configure("alloc@TestCell");
+  {
+    faults::ScopedCell cell("TestCell");
+    suite::Real_vec v;
+    EXPECT_THROW(suite::init_data(v, 100000, 31u), std::bad_alloc);
+  }
+  // Outside the cell the hook is inert.
+  suite::Real_vec v;
+  suite::init_data(v, 1000, 31u);
+  EXPECT_EQ(v.size(), 1000u);
+  faults::injector().reset();
+}
+
+TEST(MemFaults, PoolAllocateItselfThrowsInsideFaultedCell) {
+  faults::injector().configure("alloc@PoolCell");
+  {
+    faults::ScopedCell cell("PoolCell");
+    EXPECT_THROW(mem::pool().allocate(4096), std::bad_alloc);
+  }
+  faults::injector().reset();
+}
+
+}  // namespace

@@ -81,6 +81,28 @@ int main(int argc, char** argv) {
                 tk.nodes().size());
     for (const auto& m : tk.metrics()) std::printf(" %s", m.c_str());
     std::printf("\n\n%s", tk.table(metric, label).c_str());
+
+    // Pool summary (recorded by the executor as run metadata; identical in
+    // every profile of a run): shows setup amortization at a glance.
+    for (std::size_t i = 0; i < tk.num_profiles(); ++i) {
+      const auto& md = tk.metadata(i);
+      const auto reserved = md.find("pool_bytes_reserved");
+      if (reserved == md.end()) continue;
+      auto get = [&md](const char* key) {
+        const auto it = md.find(key);
+        return it == md.end() ? 0.0 : std::stod(it->second);
+      };
+      const double allocs = get("pool_alloc_calls");
+      const double hits = get("pool_reuse_hits");
+      std::printf("\npool: %.1f MiB reserved (high water %.1f MiB), "
+                  "%.0f allocs, %.0f%% hit rate; cache: %.0f hits, "
+                  "%.0f misses\n",
+                  std::stod(reserved->second) / (1024.0 * 1024.0),
+                  get("pool_high_water_bytes") / (1024.0 * 1024.0), allocs,
+                  allocs > 0.0 ? hits / allocs * 100.0 : 0.0,
+                  get("cache_hits"), get("cache_misses"));
+      break;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
