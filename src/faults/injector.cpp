@@ -1,8 +1,14 @@
 #include "faults/injector.hpp"
 
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <limits>
 #include <new>
 #include <sstream>
+#include <thread>
+
+#include "sandbox/protocol.hpp"
 
 namespace rperf::faults {
 
@@ -17,8 +23,38 @@ FaultKind kind_from_string(const std::string& s) {
   if (s == "throw") return FaultKind::Throw;
   if (s == "slow") return FaultKind::Slow;
   if (s == "corrupt") return FaultKind::Corrupt;
-  throw std::invalid_argument("faults: unknown fault kind '" + s +
-                              "' (want alloc|throw|slow|corrupt)");
+  if (s == "segv") return FaultKind::Segv;
+  if (s == "abort") return FaultKind::Abort;
+  if (s == "oom") return FaultKind::Oom;
+  if (s == "hang") return FaultKind::Hang;
+  throw std::invalid_argument(
+      "faults: unknown fault kind '" + s +
+      "' (want alloc|throw|slow|corrupt|segv|abort|oom|hang)");
+}
+
+/// Exhaust memory the way a runaway kernel would: allocate and touch
+/// chunks until the allocator fails (fast under RLIMIT_AS), with a hard
+/// cap so an unlimited process still terminates deterministically. Exits
+/// abruptly — no unwinding — mirroring a kernel OOM kill.
+[[noreturn]] void simulate_oom() {
+  constexpr std::size_t kChunk = 64u << 20;      // 64 MiB per allocation
+  constexpr std::size_t kCap = 256u << 20;       // stop after 256 MiB
+  for (std::size_t total = 0; total < kCap; total += kChunk) {
+    auto* p = static_cast<volatile char*>(::operator new(kChunk, std::nothrow));
+    if (p == nullptr) break;
+    for (std::size_t i = 0; i < kChunk; i += 4096) p[i] = 1;  // fault pages
+  }
+  std::_Exit(sandbox::kOomExitCode);
+}
+
+/// Wedge the process like a deadlocked kernel: sleep in small increments
+/// so SIGTERM/SIGKILL land promptly, with a 10-minute safety valve in
+/// case no one ever kills us.
+[[noreturn]] void simulate_hang() {
+  for (int i = 0; i < 6000; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::_Exit(1);
 }
 
 /// Parse the optional ':' argument into the spec.
@@ -75,8 +111,17 @@ std::string to_string(FaultKind k) {
     case FaultKind::Throw: return "throw";
     case FaultKind::Slow: return "slow";
     case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Segv: return "segv";
+    case FaultKind::Abort: return "abort";
+    case FaultKind::Oom: return "oom";
+    case FaultKind::Hang: return "hang";
   }
   return "?";
+}
+
+bool is_process_fatal(FaultKind k) {
+  return k == FaultKind::Segv || k == FaultKind::Abort ||
+         k == FaultKind::Oom || k == FaultKind::Hang;
 }
 
 std::vector<FaultSpec> Injector::parse(const std::string& spec) {
@@ -141,9 +186,27 @@ bool Injector::fire(FaultSpec& spec) {
 
 void Injector::on_lifecycle(const std::string& kernel) {
   for (auto& spec : specs_) {
-    if (spec.kind == FaultKind::Throw && matches(spec, kernel) &&
-        fire(spec)) {
-      throw InjectedFault("injected fault: throw@" + kernel);
+    if (!matches(spec, kernel)) continue;
+    switch (spec.kind) {
+      case FaultKind::Throw:
+        if (fire(spec)) {
+          throw InjectedFault("injected fault: throw@" + kernel);
+        }
+        break;
+      case FaultKind::Segv:
+        if (fire(spec)) std::raise(SIGSEGV);
+        break;
+      case FaultKind::Abort:
+        if (fire(spec)) std::abort();
+        break;
+      case FaultKind::Oom:
+        if (fire(spec)) simulate_oom();
+        break;
+      case FaultKind::Hang:
+        if (fire(spec)) simulate_hang();
+        break;
+      default:
+        break;  // alloc/slow/corrupt fire from their own hooks
     }
   }
 }
@@ -177,6 +240,40 @@ long double Injector::corrupt_checksum(const std::string& kernel,
     }
   }
   return checksum;
+}
+
+std::string Injector::serialize_state() const {
+  std::ostringstream os;
+  os << rng_state_;
+  for (const auto& spec : specs_) os << ',' << spec.budget;
+  return os.str();
+}
+
+void Injector::deserialize_state(const std::string& state) {
+  std::istringstream is(state);
+  std::string field;
+  std::vector<long> values;
+  while (std::getline(is, field, ',')) {
+    try {
+      values.push_back(std::stol(field));
+    } catch (const std::exception&) {
+      return;  // malformed: keep current state
+    }
+  }
+  if (values.size() != specs_.size() + 1) return;  // configure mismatch
+  rng_state_ = static_cast<std::uint32_t>(values[0]);
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    specs_[i].budget = static_cast<int>(values[i + 1]);
+  }
+}
+
+void Injector::note_external_fire(FaultKind kind, const std::string& kernel) {
+  for (auto& spec : specs_) {
+    if (spec.kind == kind && matches(spec, kernel) && spec.budget > 0) {
+      --spec.budget;
+      return;
+    }
+  }
 }
 
 Injector& injector() {

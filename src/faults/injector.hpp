@@ -13,6 +13,7 @@
 //   spec   := entry (',' entry)*
 //   entry  := kind '@' kernel [':' arg]
 //   kind   := 'alloc' | 'throw' | 'slow' | 'corrupt'
+//           | 'segv' | 'abort' | 'oom' | 'hang'
 //   kernel := full kernel name (e.g. Stream_TRIAD) or '*' for any
 //   arg    := COUNT        fire at most COUNT times, then disarm
 //                          (alloc/throw/corrupt; default: unlimited)
@@ -26,6 +27,12 @@
 // All occurrence decisions come from armed counters plus a seeded LCG —
 // no wall clock, no global randomness — so a given (spec, seed) pair
 // always fails the exact same cells.
+//
+// The segv/abort/oom/hang kinds are PROCESS-FATAL: they kill or wedge the
+// process that executes the kernel (SIGSEGV, SIGABRT, abrupt _Exit after
+// exhausting allocations, a long sleep loop). They exist to exercise the
+// rperf::sandbox worker-process path (--isolate=kernel|cell) and must not
+// be armed for in-process execution unless dying is the desired outcome.
 #pragma once
 
 #include <cstddef>
@@ -36,7 +43,20 @@
 
 namespace rperf::faults {
 
-enum class FaultKind { Alloc, Throw, Slow, Corrupt };
+enum class FaultKind {
+  Alloc,
+  Throw,
+  Slow,
+  Corrupt,
+  // Process-fatal kinds (sandbox coverage; see header comment).
+  Segv,
+  Abort,
+  Oom,
+  Hang,
+};
+
+/// True for kinds that terminate or wedge the executing process.
+[[nodiscard]] bool is_process_fatal(FaultKind k);
 
 [[nodiscard]] std::string to_string(FaultKind k);
 
@@ -80,6 +100,21 @@ class Injector {
   /// otherwise returns `checksum` unchanged.
   [[nodiscard]] long double corrupt_checksum(const std::string& kernel,
                                              long double checksum);
+
+  // ----- state transfer (sandboxed execution) -----
+  // A forked worker inherits the injector's armed state; these let the
+  // parent fold the worker's consumption back in so budgets and the
+  // probability stream progress across the whole sweep exactly as they
+  // would in-process.
+  /// Compact textual form of (rng state, per-spec remaining budgets).
+  [[nodiscard]] std::string serialize_state() const;
+  /// Restore state captured by serialize_state(); a spec-count mismatch
+  /// (different configure) is ignored rather than corrupting budgets.
+  void deserialize_state(const std::string& state);
+  /// Record that a process-fatal fault of `kind` definitionally fired for
+  /// `kernel` (the worker died that way and could not report): consume one
+  /// budget unit from the first matching armed spec.
+  void note_external_fire(FaultKind kind, const std::string& kernel);
 
   // ----- cell scope (used by ScopedCell) -----
   void begin_cell(const std::string& kernel) { current_cell_ = kernel; }

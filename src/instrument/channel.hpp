@@ -77,6 +77,9 @@ class Channel {
   void set_metadata(const std::string& key, double value);
 
   [[nodiscard]] const RegionNode& root() const { return *root_; }
+  /// Mutable root, for deserializers that rebuild a recorded tree
+  /// (e.g. channel_from_profile). Not for live annotation — use begin/end.
+  [[nodiscard]] RegionNode& root_rw() { return *root_; }
   [[nodiscard]] const std::map<std::string, std::string>& metadata() const {
     return metadata_;
   }

@@ -29,6 +29,10 @@ std::string Value::string_or(const std::string& key,
   return contains(key) && at(key).is_string() ? at(key).as_string() : dflt;
 }
 
+bool Value::bool_or(const std::string& key, bool dflt) const {
+  return contains(key) && at(key).is_bool() ? at(key).as_bool() : dflt;
+}
+
 namespace {
 
 void escape_string(const std::string& s, std::string& out) {

@@ -81,6 +81,7 @@ class Value {
   [[nodiscard]] double number_or(const std::string& key, double dflt) const;
   [[nodiscard]] std::string string_or(const std::string& key,
                                       const std::string& dflt) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool dflt) const;
 
   /// Serialize; indent < 0 means compact single-line output.
   [[nodiscard]] std::string dump(int indent = -1) const;

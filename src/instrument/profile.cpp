@@ -98,7 +98,7 @@ Profile to_profile(const Channel& channel) {
   return profile;
 }
 
-std::string profile_to_json(const Profile& profile) {
+json::Value profile_to_value(const Profile& profile) {
   json::Object top;
   json::Object meta;
   for (const auto& [k, v] : profile.metadata) meta.emplace(k, v);
@@ -107,11 +107,10 @@ std::string profile_to_json(const Profile& profile) {
   for (const ProfileNode& r : profile.roots) roots.push_back(node_to_json(r));
   top.emplace("regions", std::move(roots));
   top.emplace("format", "rperf-cali-1");
-  return json::Value(std::move(top)).dump(2);
+  return json::Value(std::move(top));
 }
 
-Profile profile_from_json(const std::string& text) {
-  const json::Value v = json::Value::parse(text);
+Profile profile_from_value(const json::Value& v) {
   Profile profile;
   if (v.contains("metadata")) {
     for (const auto& [k, m] : v.at("metadata").as_object()) {
@@ -124,6 +123,35 @@ Profile profile_from_json(const std::string& text) {
     }
   }
   return profile;
+}
+
+std::string profile_to_json(const Profile& profile) {
+  return profile_to_value(profile).dump(2);
+}
+
+Profile profile_from_json(const std::string& text) {
+  return profile_from_value(json::Value::parse(text));
+}
+
+namespace {
+
+void rebuild_region(RegionNode& parent, const ProfileNode& src) {
+  RegionNode& node = parent.child(src.name);
+  node.inclusive_time_sec += src.time_sec;
+  node.visit_count += src.visit_count;
+  for (const auto& [k, v] : src.metrics) node.metrics[k] += v;
+  for (const ProfileNode& c : src.children) rebuild_region(node, c);
+}
+
+}  // namespace
+
+Channel channel_from_profile(const Profile& profile) {
+  Channel channel;
+  for (const auto& [k, v] : profile.metadata) channel.set_metadata(k, v);
+  for (const ProfileNode& r : profile.roots) {
+    rebuild_region(channel.root_rw(), r);
+  }
+  return channel;
 }
 
 void write_profile(const Profile& profile, const std::string& path) {

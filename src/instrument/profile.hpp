@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "instrument/channel.hpp"
+#include "instrument/json.hpp"
 
 namespace rperf::cali {
 
@@ -53,5 +54,15 @@ void write_profile(const Channel& channel, const std::string& path);
 /// In-memory (de)serialization, used by tests and remote transports.
 [[nodiscard]] std::string profile_to_json(const Profile& profile);
 [[nodiscard]] Profile profile_from_json(const std::string& text);
+
+/// json::Value forms, for embedding a profile inside a larger document
+/// (the sandbox pipe protocol ships per-cell profiles this way).
+[[nodiscard]] json::Value profile_to_value(const Profile& profile);
+[[nodiscard]] Profile profile_from_value(const json::Value& v);
+
+/// Rebuild a channel whose region tree and metadata mirror `profile`,
+/// so a deserialized profile can be folded into a live channel with
+/// Channel::merge. Inverse of to_profile up to region ordering.
+[[nodiscard]] Channel channel_from_profile(const Profile& profile);
 
 }  // namespace rperf::cali

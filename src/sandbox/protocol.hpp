@@ -1,0 +1,44 @@
+// Pipe-protocol constants shared by the sweep parent and its sandboxed
+// worker processes.
+//
+// Workers stream line-delimited JSON records over an anonymous pipe:
+//
+//   {"type":"hello","proto":1,"pid":12345}
+//   {"type":"cell", ...RunResult fields..., "profile":{...}}   (per cell)
+//   {"type":"bye","injector":"<serialized injector state>"}
+//
+// The parent validates the hello's protocol version before trusting any
+// record, attributes a missing/partial stream to a worker crash at the
+// first unreported cell, and folds the bye's injector state back so fault
+// budgets and the seeded probability stream progress across workers the
+// same way they would in a single process. Bump kProtocolVersion whenever
+// a record's schema changes incompatibly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rperf::sandbox {
+
+/// Version of the parent<->worker record schema.
+inline constexpr int kProtocolVersion = 1;
+
+/// Exit code a worker uses for "memory exhausted": either the injector's
+/// oom fault hit its allocation cap, or std::bad_alloc escaped the cell
+/// runner (e.g. RLIMIT_AS). Chosen outside the 0-63 range tools use.
+inline constexpr int kOomExitCode = 86;
+
+/// Exact long-double round-trip for checksums crossing the pipe: JSON
+/// numbers are doubles, so the wire carries a C99 hexfloat string too.
+[[nodiscard]] inline std::string checksum_to_hex(long double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%La", v);
+  return buf;
+}
+
+[[nodiscard]] inline long double checksum_from_hex(const std::string& s) {
+  return std::strtold(s.c_str(), nullptr);
+}
+
+}  // namespace rperf::sandbox

@@ -1,10 +1,17 @@
 #include "suite/executor.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -12,6 +19,8 @@
 #include "instrument/json.hpp"
 #include "mem/cache.hpp"
 #include "mem/pool.hpp"
+#include "sandbox/protocol.hpp"
+#include "sandbox/sandbox.hpp"
 #include "suite/data_utils.hpp"
 
 namespace rperf::suite {
@@ -32,8 +41,102 @@ const char* status_marker(RunStatus s) {
     case RunStatus::ChecksumInvalid: return "BADSUM";
     case RunStatus::TimedOut: return "TIMEOUT";
     case RunStatus::Skipped: return "SKIPPED";
+    case RunStatus::Crashed: return "CRASHED";
+    case RunStatus::OutOfMemory: return "OOM";
+    case RunStatus::Killed: return "KILLED";
   }
   return "?";
+}
+
+/// Write one '\n'-terminated protocol line to a pipe fd (worker side).
+/// Runs in the forked worker, so failures terminate abruptly via _exit.
+void write_json_line(int fd, json::Object obj) {
+  std::string line = json::Value(std::move(obj)).dump();
+  line.push_back('\n');
+  const char* p = line.data();
+  std::size_t n = line.size();
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(3);  // parent gone; nothing sensible left to do
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Decode a worker "cell" record into the parent-side RunResult.
+void decode_cell_record(const json::Value& v, RunResult& r) {
+  r.status = run_status_from_string(v.at("status").as_string());
+  r.time_per_rep_sec = v.number_or("time_per_rep_sec", -1.0);
+  if (v.contains("checksum_hex")) {
+    r.checksum = sandbox::checksum_from_hex(v.at("checksum_hex").as_string());
+  } else {
+    r.checksum = static_cast<long double>(v.number_or("checksum", 0.0));
+  }
+  r.problem_size = static_cast<Index_type>(v.number_or("problem_size", 0.0));
+  r.reps = static_cast<Index_type>(v.number_or("reps", 0.0));
+  r.setup_ms = v.number_or("setup_ms", 0.0);
+  r.checksum_ms = v.number_or("checksum_ms", 0.0);
+  r.pool_hits = static_cast<std::uint64_t>(v.number_or("pool_hits", 0.0));
+  r.cache_hits = static_cast<std::uint64_t>(v.number_or("cache_hits", 0.0));
+  r.error = v.string_or("error", "");
+}
+
+/// Classify a worker that terminated without completing the protocol.
+void decode_worker_failure(const sandbox::WorkerReport& rep,
+                           std::size_t sandbox_mem_mb, RunResult& r) {
+  switch (rep.exit) {
+    case sandbox::WorkerExit::DeadlineKilled:
+      r.status = RunStatus::Killed;
+      r.error = "worker killed past the wall-clock deadline";
+      return;
+    case sandbox::WorkerExit::OomExit:
+      r.status = RunStatus::OutOfMemory;
+      r.error = "worker " + rep.describe();
+      return;
+    case sandbox::WorkerExit::Signaled:
+      if (rep.signal == SIGXCPU) {
+        r.status = RunStatus::Killed;
+        r.error = "worker exceeded its CPU limit (SIGXCPU)";
+      } else if (rep.signal == SIGKILL && sandbox_mem_mb > 0) {
+        // The kernel OOM killer (or an unblockable kill under RLIMIT_AS
+        // pressure) leaves SIGKILL as the only evidence.
+        r.status = RunStatus::OutOfMemory;
+        r.error = "worker killed (SIGKILL) under a memory limit";
+      } else {
+        r.status = RunStatus::Crashed;
+        r.error = "worker " + rep.describe();
+      }
+      return;
+    case sandbox::WorkerExit::NonzeroExit:
+      r.status = RunStatus::Crashed;
+      r.error = "worker " + rep.describe();
+      return;
+    case sandbox::WorkerExit::CleanExit:
+      r.status = RunStatus::Crashed;
+      r.error = "worker exited before completing the pipe protocol";
+      return;
+  }
+}
+
+/// Fault kind a dead worker's status implies, for budget fold-back.
+std::optional<faults::FaultKind> implied_fault_kind(const RunResult& r,
+                                                    int signal) {
+  switch (r.status) {
+    case RunStatus::Crashed:
+      if (signal == SIGSEGV) return faults::FaultKind::Segv;
+      if (signal == SIGABRT) return faults::FaultKind::Abort;
+      // ASan converts fatal signals into exit(1); attribute by best guess.
+      return faults::FaultKind::Segv;
+    case RunStatus::OutOfMemory:
+      return faults::FaultKind::Oom;
+    case RunStatus::Killed:
+      return faults::FaultKind::Hang;
+    default:
+      return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -45,6 +148,11 @@ Executor::Executor(RunParams params) : params_(std::move(params)) {
 std::string Executor::progress_path() const {
   if (params_.output_dir.empty()) return "";
   return params_.output_dir + "/progress.jsonl";
+}
+
+std::string Executor::crashes_path() const {
+  if (params_.output_dir.empty()) return "";
+  return params_.output_dir + "/crashes.jsonl";
 }
 
 RunStatus Executor::run_cell_once(const Cell& cell, cali::Channel& channel,
@@ -87,6 +195,9 @@ void Executor::append_progress(const RunResult& r) const {
   o["status"] = to_string(r.status);
   o["time_per_rep_sec"] = r.time_per_rep_sec;
   o["checksum"] = static_cast<double>(r.checksum);
+  // Exact long-double round-trip so restored cells keep bit-identical
+  // checksums (the readable double above is for humans and older readers).
+  o["checksum_hex"] = sandbox::checksum_to_hex(r.checksum);
   o["problem_size"] = static_cast<std::int64_t>(r.problem_size);
   o["reps"] = static_cast<std::int64_t>(r.reps);
   o["attempts"] = r.attempts;
@@ -112,13 +223,21 @@ std::map<std::string, RunResult> Executor::load_progress() const {
   if (path.empty() || !std::filesystem::exists(path)) return out;
   std::ifstream is(path);
   std::string line;
+  int line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     json::Value v;
     try {
       v = json::Value::parse(line);
     } catch (const json::JsonError&) {
-      continue;  // torn final line from an interrupted run
+      // Torn record from a run that died mid-append (crash, power loss).
+      // Drop it — the cell re-runs — but say so, since a silently shrunken
+      // checkpoint looks like progress evaporating.
+      std::cerr << "warning: " << path << ":" << line_no
+                << ": dropping truncated checkpoint record; "
+                   "the cell will be re-run\n";
+      continue;
     }
     try {
       RunResult r;
@@ -127,7 +246,12 @@ std::map<std::string, RunResult> Executor::load_progress() const {
       r.tuning_name = v.at("tuning").as_string();
       r.status = run_status_from_string(v.at("status").as_string());
       r.time_per_rep_sec = v.number_or("time_per_rep_sec", -1.0);
-      r.checksum = static_cast<long double>(v.number_or("checksum", 0.0));
+      if (v.contains("checksum_hex")) {
+        r.checksum =
+            sandbox::checksum_from_hex(v.at("checksum_hex").as_string());
+      } else {
+        r.checksum = static_cast<long double>(v.number_or("checksum", 0.0));
+      }
       r.problem_size =
           static_cast<Index_type>(v.number_or("problem_size", 0.0));
       r.reps = static_cast<Index_type>(v.number_or("reps", 0.0));
@@ -146,9 +270,34 @@ std::map<std::string, RunResult> Executor::load_progress() const {
   return out;
 }
 
+std::map<std::string, int> Executor::load_crash_counts() const {
+  std::map<std::string, int> out;
+  const std::string path = crashes_path();
+  if (path.empty() || !std::filesystem::exists(path)) return out;
+  std::ifstream is(path);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    try {
+      const json::Value v = json::Value::parse(line);
+      if (v.string_or("kind", "crash") != "crash") continue;
+      const std::string key =
+          cell_key(v.at("kernel").as_string(),
+                   variant_from_string(v.at("variant").as_string()),
+                   v.at("tuning").as_string());
+      ++out[key];
+    } catch (const std::exception&) {
+      continue;  // torn or foreign line: crash counting stays conservative
+    }
+  }
+  return out;
+}
+
 void Executor::run() {
   results_.clear();
   channels_.clear();
+  crash_counts_.clear();
+  sandbox_stats_ = SandboxStats{};
 
   // (Re)arm the process-wide injector from this run's params; an empty
   // spec disarms it, so consecutive in-process runs are self-contained.
@@ -180,8 +329,90 @@ void Executor::run() {
     // re-appended below, so the file always reflects the latest sweep.
     std::filesystem::create_directories(params_.output_dir);
     std::ofstream(progress_path(), std::ios::trunc);
+    if (params_.resume) {
+      // Crash history survives resume so quarantine sticks.
+      crash_counts_ = load_crash_counts();
+    } else if (std::filesystem::exists(crashes_path())) {
+      std::filesystem::remove(crashes_path());
+    }
   }
 
+  if (params_.isolate == IsolationMode::None) {
+    run_in_process(cells, prior);
+  } else {
+    run_sandboxed(cells, prior);
+  }
+
+  // Run-level metadata (the Adiak substitute), plus the failure taxonomy
+  // of each (variant, tuning) slice of the sweep.
+  const mem::PoolStats pool_stats = mem::pool().stats();
+  const mem::CacheStats cache_stats = mem::data_cache().stats();
+  for (auto& [key, channel] : channels_) {
+    channel.set_metadata("variant", to_string(key.first));
+    channel.set_metadata("tuning", key.second);
+    channel.set_metadata("suite", "rajaperf-repro");
+    channel.set_metadata("size_factor", params_.size_factor);
+    if (!params_.fault_spec.empty()) {
+      channel.set_metadata("fault_spec", params_.fault_spec);
+      channel.set_metadata("fault_seed", std::to_string(params_.fault_seed));
+    }
+    std::map<RunStatus, std::size_t> counts;
+    for (const auto& r : results_) {
+      if (r.variant == key.first && r.tuning_name == key.second) {
+        ++counts[r.status];
+      }
+    }
+    channel.set_metadata("cells_passed",
+                         std::to_string(counts[RunStatus::Passed]));
+    channel.set_metadata("cells_failed",
+                         std::to_string(counts[RunStatus::Failed]));
+    channel.set_metadata(
+        "cells_checksum_invalid",
+        std::to_string(counts[RunStatus::ChecksumInvalid]));
+    channel.set_metadata("cells_timed_out",
+                         std::to_string(counts[RunStatus::TimedOut]));
+    channel.set_metadata("cells_skipped",
+                         std::to_string(counts[RunStatus::Skipped]));
+    channel.set_metadata("cells_crashed",
+                         std::to_string(counts[RunStatus::Crashed]));
+    channel.set_metadata("cells_out_of_memory",
+                         std::to_string(counts[RunStatus::OutOfMemory]));
+    channel.set_metadata("cells_killed",
+                         std::to_string(counts[RunStatus::Killed]));
+    if (params_.isolate != IsolationMode::None) {
+      // Sandbox accounting: worker count and aggregate rusage, so a
+      // profile records what its isolation cost (process-wide, same in
+      // every slice).
+      channel.set_metadata("isolate", to_string(params_.isolate));
+      channel.set_metadata("sandbox_children",
+                           std::to_string(sandbox_stats_.children));
+      channel.set_metadata("sandbox_peak_child_rss_kb",
+                           std::to_string(sandbox_stats_.peak_rss_kb));
+      channel.set_metadata("sandbox_child_user_sec", sandbox_stats_.user_sec);
+      channel.set_metadata("sandbox_child_sys_sec", sandbox_stats_.sys_sec);
+    }
+    // Memory-subsystem summary: how much memory the sweep reserved and how
+    // well setup amortized across cells (process-wide, same in every slice).
+    channel.set_metadata("pool_bytes_reserved",
+                         std::to_string(pool_stats.bytes_reserved()));
+    channel.set_metadata("pool_high_water_bytes",
+                         std::to_string(pool_stats.high_water_bytes));
+    channel.set_metadata("pool_alloc_calls",
+                         std::to_string(pool_stats.alloc_calls));
+    channel.set_metadata("pool_reuse_hits",
+                         std::to_string(pool_stats.reuse_hits));
+    channel.set_metadata("cache_hits", std::to_string(cache_stats.hits));
+    channel.set_metadata("cache_misses", std::to_string(cache_stats.misses));
+    channel.set_metadata("cache_stored_bytes",
+                         std::to_string(cache_stats.stored_bytes));
+    for (const auto& [k, v] : params_.metadata) {
+      channel.set_metadata(k, v);
+    }
+  }
+}
+
+void Executor::run_in_process(const std::vector<Cell>& cells,
+                              const std::map<std::string, RunResult>& prior) {
   bool stopped = false;
   for (const Cell& cell : cells) {
     RunResult r;
@@ -194,6 +425,14 @@ void Executor::run() {
     if (stopped) {
       r.status = RunStatus::Skipped;
       r.error = "sweep stopped by --no-keep-going after an earlier failure";
+      results_.push_back(r);
+      append_progress(r);
+      continue;
+    }
+    if (const int isig = sandbox::interrupt_signal(); isig != 0) {
+      r.status = RunStatus::Skipped;
+      r.error = "interrupted by " + sandbox::signal_name(isig) +
+                "; checkpoint flushed";
       results_.push_back(r);
       append_progress(r);
       continue;
@@ -235,53 +474,325 @@ void Executor::run() {
     append_progress(r);
     if (r.status != RunStatus::Passed && !params_.keep_going) stopped = true;
   }
+}
 
-  // Run-level metadata (the Adiak substitute), plus the failure taxonomy
-  // of each (variant, tuning) slice of the sweep.
-  const mem::PoolStats pool_stats = mem::pool().stats();
-  const mem::CacheStats cache_stats = mem::data_cache().stats();
-  for (auto& [key, channel] : channels_) {
-    channel.set_metadata("variant", to_string(key.first));
-    channel.set_metadata("tuning", key.second);
-    channel.set_metadata("suite", "rajaperf-repro");
-    channel.set_metadata("size_factor", params_.size_factor);
-    if (!params_.fault_spec.empty()) {
-      channel.set_metadata("fault_spec", params_.fault_spec);
-      channel.set_metadata("fault_seed", std::to_string(params_.fault_seed));
+void Executor::worker_main(int fd, const std::vector<const Cell*>& batch) {
+  {
+    json::Object hello;
+    hello["type"] = "hello";
+    hello["proto"] = sandbox::kProtocolVersion;
+    hello["pid"] = static_cast<std::int64_t>(::getpid());
+    write_json_line(fd, std::move(hello));
+  }
+  for (const Cell* cell : batch) {
+    RunResult r;
+    r.kernel = cell->kernel->name();
+    r.variant = cell->vid;
+    r.tuning = cell->tuning;
+    r.tuning_name = cell->tuning_name;
+    cali::Channel scratch;
+    r.status = run_cell_once(*cell, scratch, r);
+
+    json::Object o;
+    o["type"] = "cell";
+    o["kernel"] = r.kernel;
+    o["variant"] = to_string(r.variant);
+    o["tuning"] = r.tuning_name;
+    o["status"] = to_string(r.status);
+    o["time_per_rep_sec"] = r.time_per_rep_sec;
+    o["checksum"] = static_cast<double>(r.checksum);
+    o["checksum_hex"] = sandbox::checksum_to_hex(r.checksum);
+    o["problem_size"] = static_cast<std::int64_t>(r.problem_size);
+    o["reps"] = static_cast<std::int64_t>(r.reps);
+    o["setup_ms"] = r.setup_ms;
+    o["checksum_ms"] = r.checksum_ms;
+    o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
+    o["cache_hits"] = static_cast<std::int64_t>(r.cache_hits);
+    if (!r.error.empty()) o["error"] = r.error;
+    if (r.status == RunStatus::Passed) {
+      // The parent only commits passing cells' regions, so only those
+      // cross the pipe.
+      o["profile"] = cali::profile_to_value(cali::to_profile(scratch));
     }
-    std::map<RunStatus, std::size_t> counts;
-    for (const auto& r : results_) {
-      if (r.variant == key.first && r.tuning_name == key.second) {
-        ++counts[r.status];
+    write_json_line(fd, std::move(o));
+  }
+  {
+    json::Object bye;
+    bye["type"] = "bye";
+    bye["injector"] = faults::injector().serialize_state();
+    write_json_line(fd, std::move(bye));
+  }
+}
+
+void Executor::run_sandboxed(const std::vector<Cell>& cells,
+                             const std::map<std::string, RunResult>& prior) {
+  // Worker granularity: one group of cells per worker. Cells are generated
+  // kernel-major, so Kernel mode groups consecutive cells per kernel.
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  for (std::size_t b = 0; b < cells.size();) {
+    std::size_t e = b + 1;
+    if (params_.isolate == IsolationMode::Kernel) {
+      while (e < cells.size() && cells[e].kernel == cells[b].kernel) ++e;
+    }
+    groups.emplace_back(b, e);
+    b = e;
+  }
+
+  struct Pending {
+    const Cell* cell = nullptr;
+    RunResult r;
+    int attempts = 0;  // executions consumed (parent-authoritative)
+  };
+
+  bool stopped = false;
+  auto finalize = [&](RunResult& r) {
+    results_.push_back(r);
+    append_progress(r);
+    if (r.status != RunStatus::Passed && r.status != RunStatus::Skipped &&
+        !params_.keep_going) {
+      stopped = true;
+    }
+  };
+  auto append_crash_line = [&](json::Object o) {
+    const std::string path = crashes_path();
+    if (path.empty()) return;
+    std::ofstream os(path, std::ios::app);
+    if (!os) return;  // forensics are best-effort; the sweep continues
+    std::string line = json::Value(std::move(o)).dump();
+    line.push_back('\n');
+    os.write(line.data(), static_cast<std::streamsize>(line.size()));
+  };
+
+  for (const auto& [gb, ge] : groups) {
+    // Resolve restores, quarantine, and stop/interrupt skips in the parent;
+    // what remains is this group's worklist.
+    std::vector<Pending> work;
+    for (std::size_t i = gb; i < ge; ++i) {
+      const Cell& cell = cells[i];
+      RunResult r;
+      r.kernel = cell.kernel->name();
+      r.group = cell.kernel->group();
+      r.variant = cell.vid;
+      r.tuning = cell.tuning;
+      r.tuning_name = cell.tuning_name;
+
+      if (stopped) {
+        r.status = RunStatus::Skipped;
+        r.error = "sweep stopped by --no-keep-going after an earlier failure";
+        finalize(r);
+        continue;
       }
+      if (const int isig = sandbox::interrupt_signal(); isig != 0) {
+        r.status = RunStatus::Skipped;
+        r.error = "interrupted by " + sandbox::signal_name(isig) +
+                  "; checkpoint flushed";
+        finalize(r);
+        continue;
+      }
+      const std::string key = cell_key(r.kernel, r.variant, r.tuning_name);
+      const auto it = prior.find(key);
+      if (it != prior.end() && it->second.status == RunStatus::Passed) {
+        r = it->second;
+        r.group = cell.kernel->group();
+        r.tuning = cell.tuning;
+        r.restored = true;
+        cell.kernel->restore_result(cell.vid, cell.tuning,
+                                    r.time_per_rep_sec, r.checksum);
+        finalize(r);
+        continue;
+      }
+      const auto qc = crash_counts_.find(key);
+      if (qc != crash_counts_.end() &&
+          qc->second >= params_.quarantine_after) {
+        r.status = RunStatus::Skipped;
+        r.error = "quarantined after " + std::to_string(qc->second) +
+                  " crashes; see crashes.jsonl";
+        json::Object o;
+        o["kind"] = "quarantine-skip";
+        o["kernel"] = r.kernel;
+        o["variant"] = to_string(r.variant);
+        o["tuning"] = r.tuning_name;
+        o["crashes"] = qc->second;
+        append_crash_line(std::move(o));
+        finalize(r);
+        continue;
+      }
+      Pending p;
+      p.cell = &cell;
+      p.r = std::move(r);
+      work.push_back(std::move(p));
     }
-    channel.set_metadata("cells_passed",
-                         std::to_string(counts[RunStatus::Passed]));
-    channel.set_metadata("cells_failed",
-                         std::to_string(counts[RunStatus::Failed]));
-    channel.set_metadata(
-        "cells_checksum_invalid",
-        std::to_string(counts[RunStatus::ChecksumInvalid]));
-    channel.set_metadata("cells_timed_out",
-                         std::to_string(counts[RunStatus::TimedOut]));
-    channel.set_metadata("cells_skipped",
-                         std::to_string(counts[RunStatus::Skipped]));
-    // Memory-subsystem summary: how much memory the sweep reserved and how
-    // well setup amortized across cells (process-wide, same in every slice).
-    channel.set_metadata("pool_bytes_reserved",
-                         std::to_string(pool_stats.bytes_reserved()));
-    channel.set_metadata("pool_high_water_bytes",
-                         std::to_string(pool_stats.high_water_bytes));
-    channel.set_metadata("pool_alloc_calls",
-                         std::to_string(pool_stats.alloc_calls));
-    channel.set_metadata("pool_reuse_hits",
-                         std::to_string(pool_stats.reuse_hits));
-    channel.set_metadata("cache_hits", std::to_string(cache_stats.hits));
-    channel.set_metadata("cache_misses", std::to_string(cache_stats.misses));
-    channel.set_metadata("cache_stored_bytes",
-                         std::to_string(cache_stats.stored_bytes));
-    for (const auto& [k, v] : params_.metadata) {
-      channel.set_metadata(k, v);
+
+    // Spawn workers until the worklist drains. Each pass re-runs what the
+    // previous worker did not finish (crash) plus any retry-eligible cells.
+    while (!work.empty()) {
+      if (stopped || sandbox::interrupt_signal() != 0) {
+        const int isig = sandbox::interrupt_signal();
+        for (auto& p : work) {
+          p.r.status = RunStatus::Skipped;
+          p.r.error =
+              stopped
+                  ? "sweep stopped by --no-keep-going after an earlier failure"
+                  : "interrupted by " + sandbox::signal_name(isig) +
+                        "; checkpoint flushed";
+          finalize(p.r);
+        }
+        break;
+      }
+
+      sandbox::Limits limits;
+      limits.address_space_bytes = params_.sandbox_mem_mb << 20;
+      limits.cpu_seconds = params_.sandbox_cpu_seconds;
+      if (params_.max_cell_seconds > 0.0) {
+        limits.wall_deadline_sec =
+            params_.max_cell_seconds * static_cast<double>(work.size());
+      }
+
+      std::vector<const Cell*> batch;
+      batch.reserve(work.size());
+      for (const auto& p : work) batch.push_back(p.cell);
+
+      const sandbox::WorkerReport rep = sandbox::run_worker(
+          [&](int fd) { worker_main(fd, batch); }, limits);
+      ++sandbox_stats_.children;
+      sandbox_stats_.peak_rss_kb =
+          std::max(sandbox_stats_.peak_rss_kb, rep.usage.max_rss_kb);
+      sandbox_stats_.user_sec += rep.usage.user_sec;
+      sandbox_stats_.sys_sec += rep.usage.sys_sec;
+#ifdef RPERF_SANDBOX_DIAG
+      std::fprintf(stderr,
+                   "[sandbox] worker done: cells=%zu %s rss=%ldkb "
+                   "user=%.3fs sys=%.3fs wall=%.3fs\n",
+                   batch.size(), rep.describe().c_str(), rep.usage.max_rss_kb,
+                   rep.usage.user_sec, rep.usage.sys_sec, rep.wall_sec);
+#endif
+
+      // Fold the worker's records back, in worklist order.
+      std::size_t idx = 0;
+      bool proto_ok = true;
+      std::vector<Pending> requeue;
+      for (const std::string& line : rep.lines) {
+        json::Value v;
+        try {
+          v = json::Value::parse(line);
+        } catch (const json::JsonError&) {
+          continue;  // torn line right at the crash point
+        }
+        const std::string type = v.string_or("type", "");
+        if (type == "hello") {
+          if (static_cast<int>(v.number_or("proto", 0.0)) !=
+              sandbox::kProtocolVersion) {
+            proto_ok = false;
+            break;
+          }
+        } else if (type == "cell" && idx < work.size()) {
+          Pending& p = work[idx++];
+          ++p.attempts;
+          try {
+            decode_cell_record(v, p.r);
+          } catch (const std::exception& e) {
+            p.r.status = RunStatus::Crashed;
+            p.r.error = std::string("malformed worker record: ") + e.what();
+          }
+          p.r.attempts = p.attempts;
+          if (p.r.status == RunStatus::Passed) {
+            if (v.contains("profile")) {
+              const cali::Channel scratch = cali::channel_from_profile(
+                  cali::profile_from_value(v.at("profile")));
+              channels_[{p.cell->vid, p.cell->tuning_name}].merge(scratch);
+            }
+            p.cell->kernel->restore_result(p.cell->vid, p.cell->tuning,
+                                           p.r.time_per_rep_sec, p.r.checksum);
+            finalize(p.r);
+          } else if ((p.r.status == RunStatus::Failed ||
+                      p.r.status == RunStatus::ChecksumInvalid) &&
+                     p.attempts <= params_.retries && !stopped) {
+            if (params_.retry_backoff_ms > 0) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(
+                  params_.retry_backoff_ms << (p.attempts - 1)));
+            }
+            requeue.push_back(std::move(p));
+          } else {
+            finalize(p.r);
+          }
+        } else if (type == "bye") {
+          // Fold the worker's fault-budget consumption and rng progress
+          // back, so the sweep's fault schedule is worker-count invariant.
+          faults::injector().deserialize_state(v.string_or("injector", ""));
+        }
+      }
+
+      // A worker that terminated with cells unreported died on the first
+      // one: decode its death into that cell's status and record forensics.
+      const bool worker_failed =
+          !rep.clean() || !proto_ok || idx < work.size();
+      if (worker_failed && idx < work.size()) {
+        Pending& p = work[idx++];
+        ++p.attempts;
+        p.r.attempts = p.attempts;
+        if (proto_ok) {
+          decode_worker_failure(rep, params_.sandbox_mem_mb, p.r);
+        } else {
+          p.r.status = RunStatus::Crashed;
+          p.r.error = "worker spoke an unknown protocol version";
+        }
+        const std::string key =
+            cell_key(p.r.kernel, p.r.variant, p.r.tuning_name);
+        const int crashes = ++crash_counts_[key];
+        const bool quarantined = crashes >= params_.quarantine_after;
+
+        json::Object o;
+        o["kind"] = "crash";
+        o["kernel"] = p.r.kernel;
+        o["variant"] = to_string(p.r.variant);
+        o["tuning"] = p.r.tuning_name;
+        o["status"] = to_string(p.r.status);
+        o["crashes"] = crashes;
+        o["attempts"] = p.attempts;
+        o["exit_code"] = rep.exit_code;
+        o["deadline_killed"] =
+            rep.exit == sandbox::WorkerExit::DeadlineKilled;
+        if (rep.signal != 0) {
+          o["signal"] = rep.signal;
+          o["signal_name"] = sandbox::signal_name(rep.signal);
+        }
+        o["error"] = p.r.error;
+        if (!rep.stderr_tail.empty()) o["stderr_tail"] = rep.stderr_tail;
+        o["max_rss_kb"] = static_cast<std::int64_t>(rep.usage.max_rss_kb);
+        o["user_sec"] = rep.usage.user_sec;
+        o["sys_sec"] = rep.usage.sys_sec;
+        o["wall_sec"] = rep.wall_sec;
+        o["quarantined"] = quarantined;
+        append_crash_line(std::move(o));
+
+        // The worker died before reporting, so its injector state is lost;
+        // consume the budget the fatal fault definitionally spent.
+        if (faults::injector().active()) {
+          if (const auto kind = implied_fault_kind(p.r, rep.signal)) {
+            faults::injector().note_external_fire(*kind, p.r.kernel);
+          }
+        }
+
+        const bool retryable = p.r.status == RunStatus::Crashed ||
+                               p.r.status == RunStatus::OutOfMemory;
+        if (retryable && !quarantined && p.attempts <= params_.retries &&
+            !stopped) {
+          if (params_.retry_backoff_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                params_.retry_backoff_ms << (p.attempts - 1)));
+          }
+          requeue.push_back(std::move(p));
+        } else {
+          finalize(p.r);
+        }
+      }
+
+      // Cells the dead worker never reached go back on the worklist
+      // without consuming an attempt.
+      for (std::size_t j = idx; j < work.size(); ++j) {
+        requeue.push_back(std::move(work[j]));
+      }
+      work = std::move(requeue);
     }
   }
 }
@@ -365,11 +876,7 @@ void Executor::write_profiles() const {
 
 std::map<RunStatus, std::size_t> Executor::status_counts() const {
   std::map<RunStatus, std::size_t> counts;
-  for (RunStatus s :
-       {RunStatus::Passed, RunStatus::Failed, RunStatus::ChecksumInvalid,
-        RunStatus::TimedOut, RunStatus::Skipped}) {
-    counts[s] = 0;
-  }
+  for (RunStatus s : all_run_statuses()) counts[s] = 0;
   for (const auto& r : results_) ++counts[r.status];
   return counts;
 }
@@ -392,6 +899,9 @@ std::string Executor::status_report() const {
      << counts.at(RunStatus::Failed) << " failed, "
      << counts.at(RunStatus::ChecksumInvalid) << " checksum-invalid, "
      << counts.at(RunStatus::TimedOut) << " timed-out, "
+     << counts.at(RunStatus::Crashed) << " crashed, "
+     << counts.at(RunStatus::OutOfMemory) << " out-of-memory, "
+     << counts.at(RunStatus::Killed) << " killed, "
      << counts.at(RunStatus::Skipped) << " skipped";
   if (restored > 0) os << " (" << restored << " restored from checkpoint)";
   os << '\n';

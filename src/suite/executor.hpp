@@ -15,6 +15,17 @@
 // <output_dir>/progress.jsonl, and RunParams::resume restores cells already
 // Passed there instead of re-running them — an interrupted multi-hour sweep
 // loses at most one kernel.
+//
+// With RunParams::isolate != None, cells execute in disposable worker
+// processes (rperf::sandbox) instead of in-process: a crash, OOM, or hang
+// is contained to the worker and decoded into RunStatus::Crashed /
+// OutOfMemory / Killed, forensics (signal, stderr tail, backtrace, rusage)
+// are appended to <output_dir>/crashes.jsonl, and a cell that crashes
+// RunParams::quarantine_after times is quarantined — skipped with a
+// recorded reason, including across --resume runs. Workers stream results
+// back over a versioned pipe protocol and the parent folds them into the
+// same channels, checkpoint, and reports as in-process execution, so the
+// two modes produce identical outputs for passing sweeps.
 #pragma once
 
 #include <map>
@@ -96,6 +107,8 @@ class Executor {
   [[nodiscard]] std::string status_report() const;
   /// Path of the checkpoint file ("" when output_dir is unset).
   [[nodiscard]] std::string progress_path() const;
+  /// Path of the crash-forensics sidecar ("" when output_dir is unset).
+  [[nodiscard]] std::string crashes_path() const;
 
  private:
   struct Cell {
@@ -105,12 +118,33 @@ class Executor {
     std::string tuning_name;
   };
 
+  /// Aggregate worker accounting for one sandboxed sweep, folded into the
+  /// run metadata (and stderr diagnostics under RPERF_SANDBOX_DIAG).
+  struct SandboxStats {
+    std::size_t children = 0;
+    long peak_rss_kb = 0;
+    double user_sec = 0.0;
+    double sys_sec = 0.0;
+  };
+
   /// Execute one cell (single attempt) into `channel`, classifying the
   /// outcome; fills time/checksum fields of `r` on success.
   RunStatus run_cell_once(const Cell& cell, cali::Channel& channel,
                           RunResult& r);
+  /// The classic path: every cell runs in this process.
+  void run_in_process(const std::vector<Cell>& cells,
+                      const std::map<std::string, RunResult>& prior);
+  /// The sandboxed path: cells run in forked workers (isolate=kernel|cell).
+  void run_sandboxed(const std::vector<Cell>& cells,
+                     const std::map<std::string, RunResult>& prior);
+  /// Body executed inside a forked worker: stream hello / per-cell records /
+  /// bye over `fd` for every cell in `batch` (sandbox/protocol.hpp).
+  void worker_main(int fd, const std::vector<const Cell*>& batch);
   void append_progress(const RunResult& r) const;
   [[nodiscard]] std::map<std::string, RunResult> load_progress() const;
+  /// Cumulative crash counts per cell key from crashes.jsonl (for the
+  /// quarantine decision on --resume).
+  [[nodiscard]] std::map<std::string, int> load_crash_counts() const;
 
   RunParams params_;
   std::vector<std::unique_ptr<KernelBase>> kernels_;
@@ -118,6 +152,8 @@ class Executor {
   /// least one passed cell.
   std::map<std::pair<VariantID, std::string>, cali::Channel> channels_;
   std::vector<RunResult> results_;
+  std::map<std::string, int> crash_counts_;
+  SandboxStats sandbox_stats_;
 };
 
 }  // namespace rperf::suite

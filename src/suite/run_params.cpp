@@ -83,6 +83,22 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
       p.fault_seed =
           static_cast<std::uint32_t>(std::stoul(need_value(i, arg)));
       ++i;
+    } else if (arg == "--isolate") {
+      p.isolate = isolation_from_string(need_value(i, arg));
+      ++i;
+    } else if (arg == "--quarantine-after") {
+      p.quarantine_after = std::stoi(need_value(i, arg));
+      ++i;
+    } else if (arg == "--max-cell-seconds") {
+      p.max_cell_seconds = std::stod(need_value(i, arg));
+      ++i;
+    } else if (arg == "--sandbox-mem-mb") {
+      p.sandbox_mem_mb =
+          static_cast<std::size_t>(std::stoull(need_value(i, arg)));
+      ++i;
+    } else if (arg == "--sandbox-cpu-seconds") {
+      p.sandbox_cpu_seconds = std::stod(need_value(i, arg));
+      ++i;
     } else {
       throw std::invalid_argument("unknown argument: " + arg);
     }
@@ -94,6 +110,9 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
   if (p.retries < 0) throw std::invalid_argument("--retries must be >= 0");
   if (p.retry_backoff_ms < 0) {
     throw std::invalid_argument("--retry-backoff-ms must be >= 0");
+  }
+  if (p.quarantine_after < 1) {
+    throw std::invalid_argument("--quarantine-after must be >= 1");
   }
   // Validate the fault grammar eagerly so a typo fails at parse time, not
   // mid-sweep.
@@ -121,7 +140,16 @@ std::string RunParams::usage() {
          "                    <outdir>/progress.jsonl\n"
          "  --faults SPEC     inject faults, e.g.\n"
          "                    'throw@Basic_DAXPY,slow@Lcals_HYDRO_2D:50ms'\n"
-         "  --fault-seed N    seed for probabilistic fault decisions\n";
+         "  --fault-seed N    seed for probabilistic fault decisions\n"
+         "  --isolate MODE    run cells in disposable worker processes:\n"
+         "                    none (in-process, default), kernel (one\n"
+         "                    worker per kernel), cell (one per cell)\n"
+         "  --quarantine-after N  skip a cell after N worker crashes\n"
+         "                    (default 3; counts persist across --resume)\n"
+         "  --max-cell-seconds S  per-cell wall deadline for workers\n"
+         "                    (SIGTERM, then SIGKILL after a grace period)\n"
+         "  --sandbox-mem-mb N    RLIMIT_AS for workers, in MiB\n"
+         "  --sandbox-cpu-seconds S  RLIMIT_CPU for workers\n";
 }
 
 }  // namespace rperf::suite

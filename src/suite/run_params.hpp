@@ -62,6 +62,24 @@ struct RunParams {
   /// Seed for the injector's deterministic probability decisions.
   std::uint32_t fault_seed = 7u;
 
+  // ----- sandboxed execution (rperf::sandbox) -----
+  /// Process isolation granularity: None runs cells in-process (as before);
+  /// Kernel forks one worker per kernel (all its variant/tuning cells);
+  /// Cell forks one worker per cell. Isolated modes contain SIGSEGV/abort/
+  /// OOM/hangs to the worker and record forensics in <outdir>/crashes.jsonl.
+  IsolationMode isolate = IsolationMode::None;
+  /// A cell that crashes its worker this many times is quarantined: skipped
+  /// with a recorded reason instead of re-attempted. Counts persist in
+  /// crashes.jsonl across --resume runs.
+  int quarantine_after = 3;
+  /// Wall-clock budget per cell enforced by the parent (SIGTERM then
+  /// SIGKILL); a worker running N cells gets N times this. <= 0 disables.
+  double max_cell_seconds = 0.0;
+  /// RLIMIT_AS for workers, in MiB; 0 = inherit the parent's limit.
+  std::size_t sandbox_mem_mb = 0;
+  /// RLIMIT_CPU for workers, in seconds; <= 0 = inherit.
+  double sandbox_cpu_seconds = 0.0;
+
   [[nodiscard]] bool wants_kernel(const std::string& name) const {
     if (kernel_filter.empty()) return true;
     for (const auto& k : kernel_filter) {

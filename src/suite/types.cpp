@@ -60,8 +60,29 @@ std::string to_string(RunStatus s) {
     case RunStatus::ChecksumInvalid: return "ChecksumInvalid";
     case RunStatus::TimedOut: return "TimedOut";
     case RunStatus::Skipped: return "Skipped";
+    case RunStatus::Crashed: return "Crashed";
+    case RunStatus::OutOfMemory: return "OutOfMemory";
+    case RunStatus::Killed: return "Killed";
   }
   return "?";
+}
+
+std::string to_string(IsolationMode m) {
+  switch (m) {
+    case IsolationMode::None: return "none";
+    case IsolationMode::Kernel: return "kernel";
+    case IsolationMode::Cell: return "cell";
+  }
+  return "?";
+}
+
+const std::vector<RunStatus>& all_run_statuses() {
+  static const std::vector<RunStatus> statuses = {
+      RunStatus::Passed,      RunStatus::Failed,
+      RunStatus::ChecksumInvalid, RunStatus::TimedOut,
+      RunStatus::Skipped,     RunStatus::Crashed,
+      RunStatus::OutOfMemory, RunStatus::Killed};
+  return statuses;
 }
 
 const std::vector<GroupID>& all_groups() {
@@ -94,12 +115,19 @@ VariantID variant_from_string(const std::string& s) {
 }
 
 RunStatus run_status_from_string(const std::string& s) {
-  for (RunStatus st :
-       {RunStatus::Passed, RunStatus::Failed, RunStatus::ChecksumInvalid,
-        RunStatus::TimedOut, RunStatus::Skipped}) {
+  for (RunStatus st : all_run_statuses()) {
     if (to_string(st) == s) return st;
   }
   throw std::invalid_argument("unknown run status: " + s);
+}
+
+IsolationMode isolation_from_string(const std::string& s) {
+  for (IsolationMode m :
+       {IsolationMode::None, IsolationMode::Kernel, IsolationMode::Cell}) {
+    if (to_string(m) == s) return m;
+  }
+  throw std::invalid_argument("unknown isolation mode: " + s +
+                              " (want none|kernel|cell)");
 }
 
 bool is_raja_variant(VariantID v) {

@@ -48,12 +48,25 @@ enum class FeatureID : std::uint32_t {
 };
 
 /// Outcome of one (kernel, variant, tuning) cell of the sweep.
+/// Crashed/OutOfMemory/Killed are produced only by sandboxed execution
+/// (--isolate), where a disposable worker process absorbs failure modes
+/// that in-process isolation cannot survive.
 enum class RunStatus {
   Passed,           ///< executed, finite checksum recorded
   Failed,           ///< exception escaped the kernel lifecycle
   ChecksumInvalid,  ///< executed but produced a NaN/Inf checksum
   TimedOut,         ///< exceeded the per-kernel wall-clock budget
-  Skipped,          ///< not executed (resume hit or sweep stopped early)
+  Skipped,          ///< not executed (resume hit, quarantine, or stop)
+  Crashed,          ///< worker died on a fatal signal (SIGSEGV, SIGABRT, ...)
+  OutOfMemory,      ///< worker exhausted memory (rlimit or allocation failure)
+  Killed,           ///< worker killed by the parent (hang deadline, CPU limit)
+};
+
+/// Process-isolation granularity of the sweep (--isolate).
+enum class IsolationMode {
+  None,    ///< cells run in the parent process (PR-1 in-process guards)
+  Kernel,  ///< one disposable worker process per kernel
+  Cell,    ///< one disposable worker process per (kernel, variant, tuning)
 };
 
 /// Computational complexity relative to problem (storage) size.
@@ -69,6 +82,10 @@ enum class Complexity {
 [[nodiscard]] std::string to_string(Complexity c);
 [[nodiscard]] std::string to_string(FeatureID f);
 [[nodiscard]] std::string to_string(RunStatus s);
+[[nodiscard]] std::string to_string(IsolationMode m);
+
+/// Every terminal RunStatus, in enum order (used for taxonomy tables).
+[[nodiscard]] const std::vector<RunStatus>& all_run_statuses();
 
 [[nodiscard]] const std::vector<GroupID>& all_groups();
 [[nodiscard]] const std::vector<VariantID>& all_variants();
@@ -77,6 +94,7 @@ enum class Complexity {
 [[nodiscard]] GroupID group_from_string(const std::string& s);
 [[nodiscard]] VariantID variant_from_string(const std::string& s);
 [[nodiscard]] RunStatus run_status_from_string(const std::string& s);
+[[nodiscard]] IsolationMode isolation_from_string(const std::string& s);
 
 /// True for variants that execute through the portability layer.
 [[nodiscard]] bool is_raja_variant(VariantID v);

@@ -13,9 +13,12 @@
 //   0  all cells passed, checksums consistent
 //   1  cross-variant checksum mismatch
 //   2  bad arguments / setup error (diagnostic on stderr)
-//   4  one or more cells Failed / ChecksumInvalid / TimedOut / Skipped
+//   4  one or more cells Failed / ChecksumInvalid / TimedOut / Crashed /
+//      OutOfMemory / Killed / Skipped
 //   5  unexpected runtime error (diagnostic on stderr)
 //   70 unknown (non-std::exception) error
+//   130 / 143  interrupted by SIGINT / SIGTERM (128+signal); reports print
+//      and the checkpoint + profiles are flushed first, so --resume works
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -27,6 +30,7 @@
 #include "instrument/report.hpp"
 #include "mem/cache.hpp"
 #include "mem/pool.hpp"
+#include "sandbox/sandbox.hpp"
 #include "suite/executor.hpp"
 
 namespace {
@@ -102,7 +106,10 @@ int main(int argc, char** argv) {
                     "  --caliper CFG     Caliper-style config, e.g.\n"
                     "                    'runtime-report,min_percent=1'\n"
                     "  --list            list kernels and exit\n"
-                    "  --simulate M      predicted suite run on machine M\n",
+                    "  --simulate M      predicted suite run on machine M\n"
+                    "exit codes: 0 ok, 1 checksum mismatch, 2 bad args,\n"
+                    "  4 non-passed cells, 5 runtime error,\n"
+                    "  130/143 interrupted (checkpoint flushed)\n",
                     suite::RunParams::usage().c_str());
         return 0;
       }
@@ -111,6 +118,12 @@ int main(int argc, char** argv) {
 
     suite::RunParams params = suite::RunParams::parse(
         static_cast<int>(forwarded.size()), forwarded.data());
+
+    // Ctrl-C / SIGTERM: latch the signal (the executor skips remaining
+    // cells and any live sandbox worker is terminated), then fall through
+    // the normal reporting + checkpoint/profile flush and exit 128+sig.
+    sandbox::install_interrupt_handlers();
+
     suite::Executor exec(params);
     exec.run();
 
@@ -153,6 +166,28 @@ int main(int argc, char** argv) {
     if (!params.output_dir.empty()) {
       std::printf("profiles written to %s/ (progress in %s)\n",
                   params.output_dir.c_str(), exec.progress_path().c_str());
+    }
+
+    // Crash forensics hint: any Crashed/OutOfMemory/Killed cell has a
+    // detailed record (signal, backtrace-bearing stderr tail, rusage)
+    // in the crashes.jsonl sidecar.
+    {
+      const auto counts = exec.status_counts();
+      const std::size_t contained = counts.at(suite::RunStatus::Crashed) +
+                                    counts.at(suite::RunStatus::OutOfMemory) +
+                                    counts.at(suite::RunStatus::Killed);
+      if (contained > 0 && !exec.crashes_path().empty()) {
+        std::printf("crash forensics for %zu cell%s in %s\n", contained,
+                    contained == 1 ? "" : "s", exec.crashes_path().c_str());
+      }
+    }
+
+    if (const int isig = sandbox::interrupt_signal(); isig != 0) {
+      std::fprintf(stderr,
+                   "interrupted by %s; checkpoint and profiles flushed "
+                   "(resume with --resume)\n",
+                   sandbox::signal_name(isig).c_str());
+      return 128 + isig;
     }
 
     // Caliper-style config: a runtime-report spec prints the hierarchical

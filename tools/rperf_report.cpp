@@ -10,14 +10,83 @@
 //   rperf-report out/ --groupby tuning
 //   rperf-report baseline/ --compare candidate/ --threshold 1.1
 //
+// When DIR holds a crashes.jsonl sidecar (written by rajaperf --isolate),
+// a crash summary is appended: per cell, how many times its worker died,
+// on which signal, and whether it is quarantined.
+//
 // Exit codes: 0 ok; 1 read/analysis error; 2 usage error; 3 regressions
-// flagged by --compare; 70 unknown (non-std::exception) error.
+// flagged by --compare; 4 crash records present in DIR (summary printed);
+// 70 unknown (non-std::exception) error.
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 
 #include "analysis/thicket.hpp"
+#include "instrument/json.hpp"
+
+namespace {
+
+/// Render DIR/crashes.jsonl (if present) and report whether any worker
+/// crashes are on record.
+bool print_crash_summary(const std::string& dir) {
+  namespace json = rperf::json;
+  const std::string path = dir + "/crashes.jsonl";
+  if (!std::filesystem::exists(path)) return false;
+
+  struct CellCrashes {
+    int crashes = 0;
+    std::string last_status;
+    std::string last_signal;
+    bool quarantined = false;
+  };
+  std::map<std::string, CellCrashes> cells;
+  std::ifstream is(path);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    json::Value v;
+    try {
+      v = json::Value::parse(line);
+    } catch (const json::JsonError&) {
+      continue;  // torn final line
+    }
+    const std::string kind = v.string_or("kind", "crash");
+    const std::string cell = v.string_or("kernel", "?") + " [" +
+                             v.string_or("variant", "?") + "/" +
+                             v.string_or("tuning", "?") + "]";
+    CellCrashes& cc = cells[cell];
+    if (kind == "crash") {
+      ++cc.crashes;
+      cc.last_status = v.string_or("status", "Crashed");
+      cc.last_signal = v.string_or("signal_name", "");
+      if (cc.last_signal.empty() && v.contains("exit_code")) {
+        cc.last_signal =
+            "exit " + std::to_string(
+                          static_cast<int>(v.number_or("exit_code", 0.0)));
+      }
+      cc.quarantined = cc.quarantined || v.bool_or("quarantined", false);
+    } else if (kind == "quarantine-skip") {
+      cc.quarantined = true;
+    }
+  }
+  if (cells.empty()) return false;
+
+  std::printf("\nCrash summary (%s):\n", path.c_str());
+  std::printf("  %-52s %8s %-12s %-10s %s\n", "Cell", "crashes", "last",
+              "signal", "quarantined");
+  for (const auto& [cell, cc] : cells) {
+    std::printf("  %-52s %8d %-12s %-10s %s\n", cell.c_str(), cc.crashes,
+                cc.last_status.c_str(), cc.last_signal.c_str(),
+                cc.quarantined ? "yes" : "no");
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rperf;
@@ -103,6 +172,9 @@ int main(int argc, char** argv) {
                   get("cache_hits"), get("cache_misses"));
       break;
     }
+    // Crashes are part of the run's story: surface them and flag the exit
+    // code so CI notices a sweep that "completed" by containing crashes.
+    if (print_crash_summary(argv[1])) return 4;
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
