@@ -1,12 +1,15 @@
 // sweep_throughput — end-to-end sweep throughput, before vs. after the
 // rperf::mem subsystem (BENCH_sweep.json).
 //
-// Runs the same (kernel, variant, tuning) sweep twice in one process:
+// Runs the same (kernel, variant, tuning) sweep three times in one process:
 //
 //   legacy    — serial LCG fills, serial element-at-a-time checksum, pool
 //               and dataset cache disabled: the pre-PR setup path.
 //   optimized — pooled arena allocations, jump-ahead blocked fills, dataset
 //               cache, blocked 4-lane checksum: the current path.
+//   traced    — the optimized path with the TraceSink recording, cross-
+//               checking the tracer's self-accounted overhead figure
+//               against the measured wall-time delta.
 //
 // Only setup machinery differs; the measured kernel loops are identical.
 // The benchmark reports wall time and cells/second for both modes, checks
@@ -59,10 +62,12 @@ struct ModeResult {
   std::size_t passed = 0;
   double setup_ms = 0.0;
   double checksum_ms = 0.0;
+  double trace_overhead_pct = 0.0;  ///< sink's self-accounting (traced leg)
   std::map<std::string, long double> checksums;
 };
 
-ModeResult run_mode(bool legacy, const rperf::suite::RunParams& params) {
+ModeResult run_mode(bool legacy, bool traced,
+                    const rperf::suite::RunParams& params) {
   using namespace rperf;
 
   suite::set_legacy_setup(legacy);
@@ -71,13 +76,17 @@ ModeResult run_mode(bool legacy, const rperf::suite::RunParams& params) {
   mem::pool().release();
   mem::data_cache().clear();
 
-  suite::Executor exec(params);
+  suite::RunParams p = params;
+  p.trace = traced;
+
+  suite::Executor exec(p);
   const auto t0 = std::chrono::steady_clock::now();
   exec.run();
   const auto t1 = std::chrono::steady_clock::now();
 
   ModeResult out;
   out.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  out.trace_overhead_pct = exec.trace_overhead_pct();
   for (const auto& r : exec.results()) {
     ++out.cells;
     if (r.status != suite::RunStatus::Passed) continue;
@@ -177,19 +186,33 @@ int main(int argc, char** argv) {
 
   // Legacy first so the optimized run cannot inherit warmed pool chunks the
   // legacy run would not have; each mode starts from an empty pool/cache.
-  const ModeResult legacy = run_mode(/*legacy=*/true, params);
+  const ModeResult legacy = run_mode(/*legacy=*/true, /*traced=*/false,
+                                     params);
   std::printf("  legacy:    %.3f s wall, %zu/%zu cells passed "
               "(%.1f cells/s; setup %.0f ms, checksum %.0f ms)\n",
               legacy.wall_sec, legacy.passed, legacy.cells,
               static_cast<double>(legacy.passed) / legacy.wall_sec,
               legacy.setup_ms, legacy.checksum_ms);
 
-  const ModeResult opt = run_mode(/*legacy=*/false, params);
+  const ModeResult opt = run_mode(/*legacy=*/false, /*traced=*/false, params);
   std::printf("  optimized: %.3f s wall, %zu/%zu cells passed "
               "(%.1f cells/s; setup %.0f ms, checksum %.0f ms)\n",
               opt.wall_sec, opt.passed, opt.cells,
               static_cast<double>(opt.passed) / opt.wall_sec, opt.setup_ms,
               opt.checksum_ms);
+
+  // Third leg: the optimized path again with the TraceSink recording,
+  // cross-checking the sink's self-accounted trace_overhead_pct against
+  // the wall-time delta it actually causes. The measured delta is noisy
+  // at smoke sizes (it can even come out negative), so it is recorded,
+  // not gated on.
+  const ModeResult traced = run_mode(/*legacy=*/false, /*traced=*/true,
+                                     params);
+  const double traced_delta_pct =
+      (traced.wall_sec / opt.wall_sec - 1.0) * 100.0;
+  std::printf("  traced:    %.3f s wall (%+.1f%% vs optimized; "
+              "self-accounted overhead %.2f%%)\n",
+              traced.wall_sec, traced_delta_pct, traced.trace_overhead_pct);
 
   // Restore defaults for anything running after us in this process.
   suite::set_legacy_setup(false);
@@ -239,6 +262,12 @@ int main(int argc, char** argv) {
   op["setup_ms"] = opt.setup_ms;
   op["checksum_ms"] = opt.checksum_ms;
   o["optimized"] = std::move(op);
+  json::Object tr;
+  tr["wall_sec"] = traced.wall_sec;
+  tr["cells_passed"] = static_cast<std::int64_t>(traced.passed);
+  tr["trace_overhead_pct"] = traced.trace_overhead_pct;
+  tr["measured_delta_pct"] = traced_delta_pct;
+  o["traced"] = std::move(tr);
   o["wall_time_reduction_pct"] = reduction_pct;
   o["checksums_compared"] = static_cast<std::int64_t>(compared);
   o["checksums_mismatched"] = static_cast<std::int64_t>(mismatched);
@@ -250,5 +279,6 @@ int main(int argc, char** argv) {
 
   if (mismatched > 0 || !bit_identical) return 1;
   if (legacy.passed != opt.passed || legacy.passed == 0) return 1;
+  if (traced.passed != opt.passed) return 1;
   return 0;
 }

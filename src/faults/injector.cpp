@@ -164,12 +164,14 @@ std::vector<FaultSpec> Injector::parse(const std::string& spec) {
 void Injector::configure(const std::string& spec, std::uint32_t seed) {
   specs_ = parse(spec);
   rng_state_ = seed ? seed : 1u;
+  fires_ = 0;
 }
 
 void Injector::reset() {
   specs_.clear();
   current_cell_.clear();
   rng_state_ = 7u;
+  fires_ = 0;
 }
 
 double Injector::next_unit() {
@@ -181,6 +183,7 @@ bool Injector::fire(FaultSpec& spec) {
   if (spec.budget == 0) return false;
   if (spec.probability < 1.0 && next_unit() >= spec.probability) return false;
   if (spec.budget > 0) --spec.budget;
+  ++fires_;
   return true;
 }
 
@@ -271,6 +274,7 @@ void Injector::note_external_fire(FaultKind kind, const std::string& kernel) {
   for (auto& spec : specs_) {
     if (spec.kind == kind && matches(spec, kernel) && spec.budget > 0) {
       --spec.budget;
+      ++fires_;
       return;
     }
   }

@@ -86,6 +86,12 @@ class Injector {
   void reset();
   [[nodiscard]] bool active() const { return !specs_.empty(); }
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  /// Faults fired by this process since configure() — includes external
+  /// fires folded in via note_external_fire. Feeds the trace's
+  /// "fault_fires" counter track. (Deliberately outside serialize_state:
+  /// that format is pinned by the v1 pipe protocol; workers report their
+  /// own counters instead.)
+  [[nodiscard]] std::uint64_t fires() const { return fires_; }
 
   // ----- hooks (no-ops unless armed and inside a matching ScopedCell) -----
   /// Called at the top of KernelBase::execute; throws InjectedFault when a
@@ -130,6 +136,7 @@ class Injector {
   std::vector<FaultSpec> specs_;
   std::string current_cell_;
   std::uint32_t rng_state_ = 7u;
+  std::uint64_t fires_ = 0;
 };
 
 /// Process-wide injector instance (mirrors cali::default_channel()).

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "instrument/trace_sink.hpp"
+
 namespace rperf::cali {
 
 RegionNode& RegionNode::child(const std::string& child_name) {
@@ -39,10 +41,10 @@ void Channel::begin(const std::string& region) {
   stack_.push_back(&node);
   const auto now = Clock::now();
   times_.push_back(now);
-  if (hook_) {
-    hook_(region, /*is_begin=*/true,
-          std::chrono::duration<double>(now - epoch_).count());
+  if (TraceSink& sink = TraceSink::instance(); sink.enabled()) {
+    sink.begin(sink.intern(region));
   }
+  notify_hooks(region, /*is_begin=*/true, now);
 }
 
 void Channel::end(const std::string& region) {
@@ -61,10 +63,39 @@ void Channel::end(const std::string& region) {
   node->visit_count += 1;
   stack_.pop_back();
   times_.pop_back();
-  if (hook_) {
-    hook_(region, /*is_begin=*/false,
-          std::chrono::duration<double>(now - epoch_).count());
+  if (TraceSink& sink = TraceSink::instance(); sink.enabled()) {
+    sink.end();
   }
+  notify_hooks(region, /*is_begin=*/false, now);
+}
+
+void Channel::notify_hooks(const std::string& region, bool is_begin,
+                           Clock::time_point now) const {
+  if (hooks_.empty()) return;
+  const double elapsed =
+      std::chrono::duration<double>(now - epoch_).count();
+  for (const HookEntry& h : hooks_) h.fn(region, is_begin, elapsed);
+}
+
+int Channel::add_event_hook(EventHook hook) {
+  if (!hook) throw AnnotationError("add_event_hook: null hook");
+  const int id = next_hook_id_++;
+  hooks_.push_back(HookEntry{id, std::move(hook)});
+  return id;
+}
+
+void Channel::remove_event_hook(int id) {
+  for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (it->id == id) {
+      hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+void Channel::set_event_hook(EventHook hook) {
+  hooks_.clear();
+  if (hook) add_event_hook(std::move(hook));
 }
 
 void Channel::attribute_metric(const std::string& name, double value) {

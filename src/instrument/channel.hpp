@@ -103,21 +103,40 @@ class Channel {
 
   /// Observer invoked on every begin (is_begin=true) and end event with
   /// the region name and seconds since channel creation. Used by the
-  /// event-trace service; pass nullptr to remove.
+  /// event-trace service. Multiple observers may be registered; they are
+  /// invoked in registration order, so independent traces can watch one
+  /// channel without clobbering each other's interval pairing.
   using EventHook =
       std::function<void(const std::string& region, bool is_begin,
                          double elapsed_sec)>;
-  void set_event_hook(EventHook hook) { hook_ = std::move(hook); }
+  /// Register an observer; returns a handle for remove_event_hook.
+  /// Throws AnnotationError for a null hook.
+  int add_event_hook(EventHook hook);
+  /// Remove a previously registered observer; unknown handles are ignored.
+  void remove_event_hook(int id);
+  /// Legacy single-observer interface: replaces ALL registered hooks with
+  /// `hook` (or removes all when nullptr). Prefer add/remove_event_hook.
+  void set_event_hook(EventHook hook);
+  [[nodiscard]] std::size_t event_hook_count() const { return hooks_.size(); }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  struct HookEntry {
+    int id = 0;
+    EventHook fn;
+  };
+
+  void notify_hooks(const std::string& region, bool is_begin,
+                    Clock::time_point now) const;
 
   std::unique_ptr<RegionNode> root_;
   std::vector<RegionNode*> stack_;       // innermost last; stack_[0] == root
   std::vector<Clock::time_point> times_; // begin timestamps, parallel to stack_
   std::map<std::string, std::string> metadata_;
   Clock::time_point epoch_ = Clock::now();
-  EventHook hook_;
+  std::vector<HookEntry> hooks_;
+  int next_hook_id_ = 1;
 };
 
 /// RAII region guard.

@@ -1,23 +1,43 @@
 #include "instrument/trace.hpp"
 
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 
 #include "instrument/json.hpp"
+#include "instrument/trace_sink.hpp"
 
 namespace rperf::cali {
 
 void EventTrace::attach(Channel& channel) {
-  channel.set_event_hook(
-      [this](const std::string& region, bool is_begin, double t) {
-        events_.push_back(TraceEvent{is_begin ? TraceEvent::Kind::Begin
-                                              : TraceEvent::Kind::End,
-                                     region, t});
+  if (attached_ != nullptr) {
+    throw AnnotationError(
+        "EventTrace::attach: trace is already attached to a channel; "
+        "detach it first");
+  }
+  const int pid = static_cast<int>(::getpid());
+  hook_id_ = channel.add_event_hook(
+      [this, pid](const std::string& region, bool is_begin, double t) {
+        events_.push_back(
+            TraceEvent{is_begin ? TraceEvent::Kind::Begin
+                                : TraceEvent::Kind::End,
+                       region, t,
+                       static_cast<int>(TraceSink::instance().thread_id()),
+                       pid});
       });
+  attached_ = &channel;
 }
 
 void EventTrace::detach(Channel& channel) {
-  channel.set_event_hook(nullptr);
+  if (attached_ == nullptr) return;  // detaching an unattached trace: no-op
+  if (attached_ != &channel) {
+    throw AnnotationError(
+        "EventTrace::detach: trace is attached to a different channel");
+  }
+  channel.remove_event_hook(hook_id_);
+  attached_ = nullptr;
+  hook_id_ = 0;
 }
 
 std::vector<TraceInterval> EventTrace::intervals() const {
@@ -58,6 +78,8 @@ std::string EventTrace::to_json() const {
     obj.emplace("kind", e.kind == TraceEvent::Kind::Begin ? "B" : "E");
     obj.emplace("region", e.region);
     obj.emplace("t", e.timestamp_sec);
+    obj.emplace("tid", e.tid);
+    obj.emplace("pid", e.pid);
     arr.push_back(json::Value(std::move(obj)));
   }
   json::Object top;
@@ -75,6 +97,9 @@ EventTrace EventTrace::from_json(const std::string& text) {
                                                  : TraceEvent::Kind::End;
     event.region = e.at("region").as_string();
     event.timestamp_sec = e.at("t").as_number();
+    // Legacy rperf-trace-1 files predate tid/pid; default both to 0.
+    event.tid = static_cast<int>(e.number_or("tid", 0.0));
+    event.pid = static_cast<int>(e.number_or("pid", 0.0));
     trace.events_.push_back(std::move(event));
   }
   return trace;

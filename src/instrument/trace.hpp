@@ -19,6 +19,8 @@ struct TraceEvent {
   Kind kind = Kind::Begin;
   std::string region;
   double timestamp_sec = 0.0;  ///< relative to trace start
+  int tid = 0;  ///< logical thread id of the recording thread (0 = main)
+  int pid = 0;  ///< process id at record time (0 in legacy files)
 };
 
 /// A completed region interval reconstructed from begin/end pairs.
@@ -35,12 +37,18 @@ class EventTrace {
  public:
   EventTrace() = default;
 
-  /// Start recording events from the channel. Only one trace may be
-  /// attached to a channel at a time; attaching replaces the previous
-  /// hook. The trace must outlive the channel's instrumented run.
+  /// Start recording events from the channel. Observers chain: several
+  /// EventTraces may watch the same channel, each keeping its own interval
+  /// pairing. One EventTrace, however, can be attached to only one channel
+  /// at a time — attaching an already-attached trace throws
+  /// AnnotationError instead of silently clobbering the earlier hook.
+  /// The trace must outlive the channel's instrumented run.
   void attach(Channel& channel);
-  /// Stop recording (removes the hook).
+  /// Stop recording (removes only this trace's hook). Throws
+  /// AnnotationError when called on a channel this trace is not attached
+  /// to; detaching an unattached trace is a no-op.
   void detach(Channel& channel);
+  [[nodiscard]] bool attached() const { return attached_ != nullptr; }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
@@ -60,6 +68,8 @@ class EventTrace {
 
  private:
   std::vector<TraceEvent> events_;
+  Channel* attached_ = nullptr;
+  int hook_id_ = 0;
 };
 
 }  // namespace rperf::cali

@@ -1,0 +1,228 @@
+#include "instrument/trace_export.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "instrument/json.hpp"
+
+namespace rperf::cali {
+
+namespace {
+
+/// Thread row name: tid 0 is the process's main (encountering) thread.
+std::string thread_row_name(std::uint32_t tid) {
+  return tid == 0 ? "main" : "thread-" + std::to_string(tid);
+}
+
+json::Object metadata_event(const char* name, int pid, int tid,
+                            const std::string& value) {
+  json::Object o;
+  o["ph"] = "M";
+  o["name"] = name;
+  o["pid"] = pid;
+  o["tid"] = tid;
+  json::Object args;
+  args["name"] = value;
+  o["args"] = std::move(args);
+  return o;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceData>& parts,
+                              const std::map<std::string, std::string>& meta) {
+  json::Array events;
+  for (const TraceData& part : parts) {
+    events.push_back(json::Value(
+        metadata_event("process_name", part.pid, 0, part.process_name)));
+    std::set<std::uint32_t> tids;
+    for (const TraceRecord& r : part.records) tids.insert(r.tid);
+    for (const std::uint32_t tid : tids) {
+      events.push_back(json::Value(metadata_event(
+          "thread_name", part.pid, static_cast<int>(tid),
+          thread_row_name(tid))));
+    }
+    for (const TraceRecord& r : part.records) {
+      const std::string& name =
+          r.name < part.names.size() ? part.names[r.name] : "?";
+      const double ts_us = (r.t0 + part.clock_offset_sec) * 1e6;
+      json::Object o;
+      o["pid"] = part.pid;
+      o["tid"] = static_cast<int>(r.tid);
+      o["name"] = name;
+      o["ts"] = ts_us;
+      switch (r.kind) {
+        case TraceRecord::Kind::Span:
+        case TraceRecord::Kind::ThreadSpan:
+          o["ph"] = "X";
+          o["dur"] = (r.t1 - r.t0) * 1e6;
+          o["cat"] = r.kind == TraceRecord::Kind::Span ? "region" : "thread";
+          break;
+        case TraceRecord::Kind::Counter: {
+          o["ph"] = "C";
+          json::Object args;
+          args["value"] = r.value;
+          o["args"] = std::move(args);
+          break;
+        }
+      }
+      events.push_back(json::Value(std::move(o)));
+    }
+  }
+
+  json::Object top;
+  top["traceEvents"] = json::Value(std::move(events));
+  top["displayTimeUnit"] = "ms";
+  json::Object other;
+  for (const auto& [k, v] : meta) other[k] = v;
+  // Region thread-stats travel in otherData so a trace file alone can
+  // answer "how imbalanced was this kernel" without the profiles.
+  json::Object imbalance;
+  for (const TraceData& part : parts) {
+    for (const auto& [region, s] : part.region_stats) {
+      json::Object row;
+      row["instances"] = static_cast<std::int64_t>(s.instances);
+      row["imbalance"] = s.imbalance();
+      row["max_threads"] = s.max_threads;
+      imbalance[region] = std::move(row);
+    }
+  }
+  if (!imbalance.empty()) other["region_thread_stats"] = std::move(imbalance);
+  top["otherData"] = std::move(other);
+  return json::Value(std::move(top)).dump();
+}
+
+std::size_t ChromeTrace::thread_count() const {
+  std::set<std::pair<int, int>> rows;
+  for (const ChromeSpan& s : spans) rows.emplace(s.pid, s.tid);
+  return rows.size();
+}
+
+ChromeTrace chrome_trace_parse(const std::string& text) {
+  const json::Value v = json::Value::parse(text);
+  ChromeTrace out;
+  for (const json::Value& e : v.at("traceEvents").as_array()) {
+    const std::string ph = e.string_or("ph", "");
+    if (ph == "X") {
+      ChromeSpan s;
+      s.pid = static_cast<int>(e.number_or("pid", 0.0));
+      s.tid = static_cast<int>(e.number_or("tid", 0.0));
+      s.name = e.string_or("name", "?");
+      s.category = e.string_or("cat", "");
+      s.ts_us = e.number_or("ts", 0.0);
+      s.dur_us = e.number_or("dur", 0.0);
+      out.spans.push_back(std::move(s));
+    } else if (ph == "C") {
+      ++out.counter_events;
+    } else if (ph == "M" && e.string_or("name", "") == "process_name") {
+      out.process_names[static_cast<int>(e.number_or("pid", 0.0))] =
+          e.contains("args") ? e.at("args").string_or("name", "?") : "?";
+    }
+  }
+  if (v.contains("otherData")) {
+    for (const auto& [k, val] : v.at("otherData").as_object()) {
+      if (val.is_string()) {
+        out.meta[k] = val.as_string();
+      } else if (val.is_number()) {
+        out.meta[k] = json::Value(val.as_number()).dump();
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-span exclusive time via an interval-nesting stack walk: spans on
+/// one (pid, tid) row, sorted by start (ties: longer first), nest by
+/// containment; a child's duration is subtracted from its parent's
+/// exclusive share.
+struct WalkedSpan {
+  const ChromeSpan* span = nullptr;
+  std::string path;          ///< ";"-joined frames, rooted at process name
+  double exclusive_us = 0.0;
+};
+
+std::vector<WalkedSpan> walk_spans(const ChromeTrace& trace) {
+  std::map<std::pair<int, int>, std::vector<const ChromeSpan*>> rows;
+  for (const ChromeSpan& s : trace.spans) rows[{s.pid, s.tid}].push_back(&s);
+
+  std::vector<WalkedSpan> out;
+  out.reserve(trace.spans.size());
+  for (auto& [row, spans] : rows) {
+    std::sort(spans.begin(), spans.end(),
+              [](const ChromeSpan* a, const ChromeSpan* b) {
+                if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                return a->dur_us > b->dur_us;
+              });
+    const auto pit = trace.process_names.find(row.first);
+    const std::string root = pit != trace.process_names.end()
+                                 ? pit->second
+                                 : "pid " + std::to_string(row.first);
+    // Open-span stack: indices into `out`. A microsecond of slack absorbs
+    // floating-point jitter between a child's end and its parent's.
+    constexpr double kSlackUs = 1.0;
+    std::vector<std::size_t> stack;
+    for (const ChromeSpan* s : spans) {
+      while (!stack.empty()) {
+        const ChromeSpan* top = out[stack.back()].span;
+        if (top->ts_us + top->dur_us <= s->ts_us + kSlackUs) {
+          stack.pop_back();
+        } else {
+          break;
+        }
+      }
+      WalkedSpan w;
+      w.span = s;
+      w.exclusive_us = s->dur_us;
+      if (stack.empty()) {
+        w.path = root + ";" + s->name;
+      } else {
+        WalkedSpan& parent = out[stack.back()];
+        parent.exclusive_us -= s->dur_us;
+        w.path = parent.path + ";" + s->name;
+      }
+      out.push_back(std::move(w));
+      stack.push_back(out.size() - 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FoldedLine> fold_stacks(const ChromeTrace& trace) {
+  std::map<std::string, double> folded;
+  for (const WalkedSpan& w : walk_spans(trace)) {
+    folded[w.path] += std::max(0.0, w.exclusive_us);
+  }
+  std::vector<FoldedLine> out;
+  out.reserve(folded.size());
+  for (const auto& [stack, usec] : folded) {
+    out.push_back(FoldedLine{stack, usec});
+  }
+  return out;
+}
+
+std::vector<RegionTime> top_exclusive(const ChromeTrace& trace,
+                                      std::size_t n) {
+  std::map<std::string, RegionTime> by_name;
+  for (const WalkedSpan& w : walk_spans(trace)) {
+    RegionTime& r = by_name[w.span->name];
+    r.name = w.span->name;
+    r.exclusive_us += std::max(0.0, w.exclusive_us);
+    r.inclusive_us += w.span->dur_us;
+    ++r.count;
+  }
+  std::vector<RegionTime> out;
+  out.reserve(by_name.size());
+  for (auto& [name, r] : by_name) out.push_back(std::move(r));
+  std::sort(out.begin(), out.end(), [](const RegionTime& a,
+                                       const RegionTime& b) {
+    return a.exclusive_us > b.exclusive_us;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace rperf::cali

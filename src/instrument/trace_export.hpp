@@ -1,0 +1,83 @@
+// Trace exporters and analyzers for TraceSink snapshots.
+//
+// `chrome_trace_json` renders one or more per-process TraceData chunks
+// (the parent's plus any sandbox workers') as a Chrome trace-event JSON
+// document that loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing: one process row per chunk, one thread row per
+// recording thread, complete "X" events for spans, and "C" counter
+// tracks for pool/cache hits and injected faults. Worker chunks carry a
+// fork-time clock offset, so all processes share one timeline.
+//
+// The same module reads such files back (`chrome_trace_parse`) and
+// derives the two human views `rperf-report` serves: top regions by
+// exclusive time (`top_exclusive`) and folded stacks for flamegraph
+// tools (`fold_stacks`, Brendan-Gregg "a;b;c value" lines).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instrument/trace_sink.hpp"
+
+namespace rperf::cali {
+
+/// Serialize chunks as a Chrome trace-event JSON document. `meta` entries
+/// land in the top-level "otherData" object (Perfetto ignores them; our
+/// own parser and tests read them back).
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceData>& parts,
+    const std::map<std::string, std::string>& meta = {});
+
+/// One complete ("X") event read back from a Chrome trace file.
+struct ChromeSpan {
+  int pid = 0;
+  int tid = 0;
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Parsed Chrome trace: spans plus enough structure to summarize.
+struct ChromeTrace {
+  std::vector<ChromeSpan> spans;
+  std::map<int, std::string> process_names;     ///< pid -> "M" process_name
+  std::size_t counter_events = 0;               ///< "C" events seen
+  std::map<std::string, std::string> meta;      ///< top-level otherData
+  [[nodiscard]] std::size_t process_count() const {
+    return process_names.size();
+  }
+  /// Distinct (pid, tid) rows among span events.
+  [[nodiscard]] std::size_t thread_count() const;
+};
+
+/// Parse a document written by chrome_trace_json (tolerates any Chrome
+/// trace-event JSON with a traceEvents array). Throws json::JsonError on
+/// malformed input.
+[[nodiscard]] ChromeTrace chrome_trace_parse(const std::string& text);
+
+/// A folded-stack line: semicolon-joined frames and exclusive microseconds.
+struct FoldedLine {
+  std::string stack;
+  double usec = 0.0;
+};
+
+/// Collapse spans into folded stacks (per process, rooted at the process
+/// name), merging identical paths. Feed to flamegraph.pl / speedscope.
+[[nodiscard]] std::vector<FoldedLine> fold_stacks(const ChromeTrace& trace);
+
+/// Per-region aggregate, ranked by exclusive time.
+struct RegionTime {
+  std::string name;
+  double exclusive_us = 0.0;
+  double inclusive_us = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Top `n` regions by exclusive (self) time across all processes/threads.
+[[nodiscard]] std::vector<RegionTime> top_exclusive(const ChromeTrace& trace,
+                                                    std::size_t n);
+
+}  // namespace rperf::cali

@@ -5,6 +5,7 @@
 //
 //   {"type":"hello","proto":1,"pid":12345}
 //   {"type":"cell", ...RunResult fields..., "profile":{...}}   (per cell)
+//   {"type":"trace","data":{...TraceData...}}     (only when tracing is on)
 //   {"type":"bye","injector":"<serialized injector state>"}
 //
 // The parent validates the hello's protocol version before trusting any
@@ -13,6 +14,13 @@
 // budgets and the seeded probability stream progress across workers the
 // same way they would in a single process. Bump kProtocolVersion whenever
 // a record's schema changes incompatibly.
+//
+// The "trace" record (added for `rajaperf --trace`) carries the worker's
+// TraceSink snapshot — interned names, span/counter records, and a
+// fork-time clock offset — so the parent can splice the worker's spans
+// onto one merged timeline. It is a backward-compatible extension:
+// readers ignore record types they do not know, so kProtocolVersion
+// stays at 1.
 #pragma once
 
 #include <cstdio>

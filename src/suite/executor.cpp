@@ -17,6 +17,8 @@
 
 #include "faults/injector.hpp"
 #include "instrument/json.hpp"
+#include "instrument/trace_export.hpp"
+#include "instrument/trace_sink.hpp"
 #include "mem/cache.hpp"
 #include "mem/pool.hpp"
 #include "sandbox/protocol.hpp"
@@ -26,6 +28,26 @@
 namespace rperf::suite {
 
 namespace {
+
+/// Trace span name for one sweep cell.
+std::string cell_span_name(const std::string& kernel, VariantID vid,
+                           const std::string& tuning_name) {
+  return kernel + " [" + to_string(vid) + "/" + tuning_name + "]";
+}
+
+/// Sample the counter tracks (cumulative pool/cache hits and injected
+/// faults) onto the trace timeline; called after each finished cell so
+/// the tracks step in sync with the spans.
+void sample_trace_counters() {
+  cali::TraceSink& sink = cali::TraceSink::instance();
+  if (!sink.enabled()) return;
+  sink.counter(sink.intern("pool_hits"),
+               static_cast<double>(mem::pool().stats().reuse_hits));
+  sink.counter(sink.intern("cache_hits"),
+               static_cast<double>(mem::data_cache().stats().hits));
+  sink.counter(sink.intern("fault_fires"),
+               static_cast<double>(faults::injector().fires()));
+}
 
 /// Stable identity of a sweep cell, used as the progress-file key.
 std::string cell_key(const std::string& kernel, VariantID vid,
@@ -205,6 +227,11 @@ void Executor::append_progress(const RunResult& r) const {
   o["checksum_ms"] = r.checksum_ms;
   o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
   o["cache_hits"] = static_cast<std::int64_t>(r.cache_hits);
+  // Monotonic milliseconds since run() started, so progress records line
+  // up with the trace timeline and crashes.jsonl on one clock.
+  o["t_ms"] = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - run_start_)
+                  .count();
   if (!r.error.empty()) o["error"] = r.error;
   std::ofstream os(path, std::ios::app);
   if (!os) {
@@ -298,6 +325,14 @@ void Executor::run() {
   channels_.clear();
   crash_counts_.clear();
   sandbox_stats_ = SandboxStats{};
+  main_trace_ = cali::TraceData{};
+  worker_traces_.clear();
+  run_wall_sec_ = 0.0;
+  trace_overhead_pct_ = 0.0;
+  run_start_ = std::chrono::steady_clock::now();
+
+  cali::TraceSink& sink = cali::TraceSink::instance();
+  if (params_.trace) sink.enable();
 
   // (Re)arm the process-wide injector from this run's params; an empty
   // spec disarms it, so consecutive in-process runs are self-contained.
@@ -337,10 +372,25 @@ void Executor::run() {
     }
   }
 
-  if (params_.isolate == IsolationMode::None) {
-    run_in_process(cells, prior);
-  } else {
-    run_sandboxed(cells, prior);
+  {
+    cali::TraceSpan sweep_span("sweep");
+    if (params_.isolate == IsolationMode::None) {
+      run_in_process(cells, prior);
+    } else {
+      run_sandboxed(cells, prior);
+    }
+  }
+
+  run_wall_sec_ = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - run_start_)
+                      .count();
+  if (params_.trace && sink.enabled()) {
+    main_trace_ = sink.flush();
+    sink.disable();
+    double overhead = main_trace_.overhead_sec;
+    for (const cali::TraceData& t : worker_traces_) overhead += t.overhead_sec;
+    trace_overhead_pct_ =
+        run_wall_sec_ > 0.0 ? 100.0 * overhead / run_wall_sec_ : 0.0;
   }
 
   // Run-level metadata (the Adiak substitute), plus the failure taxonomy
@@ -355,6 +405,9 @@ void Executor::run() {
     if (!params_.fault_spec.empty()) {
       channel.set_metadata("fault_spec", params_.fault_spec);
       channel.set_metadata("fault_seed", std::to_string(params_.fault_seed));
+    }
+    if (params_.trace) {
+      channel.set_metadata("trace_overhead_pct", trace_overhead_pct_);
     }
     std::map<RunStatus, std::size_t> counts;
     for (const auto& r : results_) {
@@ -461,7 +514,11 @@ void Executor::run_in_process(const std::vector<Cell>& cells,
       }
       cali::Channel scratch;
       r.attempts = attempt + 1;
-      r.status = run_cell_once(cell, scratch, r);
+      {
+        cali::TraceSpan cell_span(
+            cell_span_name(r.kernel, cell.vid, cell.tuning_name));
+        r.status = run_cell_once(cell, scratch, r);
+      }
       if (r.status == RunStatus::Passed) {
         channels_[{cell.vid, cell.tuning_name}].merge(scratch);
         break;
@@ -470,6 +527,7 @@ void Executor::run_in_process(const std::vector<Cell>& cells,
       // damage. Failures and corrupt checksums may be transient.
       if (r.status == RunStatus::TimedOut) break;
     }
+    sample_trace_counters();
     results_.push_back(r);
     append_progress(r);
     if (r.status != RunStatus::Passed && !params_.keep_going) stopped = true;
@@ -477,6 +535,11 @@ void Executor::run_in_process(const std::vector<Cell>& cells,
 }
 
 void Executor::worker_main(int fd, const std::vector<const Cell*>& batch) {
+  // The fork inherited the parent's buffers and epoch; drop the records
+  // (the parent reports them) and re-zero onto a local clock, keeping the
+  // fork-time offset so the parent can splice this chunk onto its timeline.
+  cali::TraceSink& sink = cali::TraceSink::instance();
+  if (sink.enabled()) sink.rezero_after_fork("rperf-worker");
   {
     json::Object hello;
     hello["type"] = "hello";
@@ -491,7 +554,12 @@ void Executor::worker_main(int fd, const std::vector<const Cell*>& batch) {
     r.tuning = cell->tuning;
     r.tuning_name = cell->tuning_name;
     cali::Channel scratch;
-    r.status = run_cell_once(*cell, scratch, r);
+    {
+      cali::TraceSpan cell_span(
+          cell_span_name(r.kernel, cell->vid, cell->tuning_name));
+      r.status = run_cell_once(*cell, scratch, r);
+    }
+    sample_trace_counters();
 
     json::Object o;
     o["type"] = "cell";
@@ -515,6 +583,15 @@ void Executor::worker_main(int fd, const std::vector<const Cell*>& batch) {
       o["profile"] = cali::profile_to_value(cali::to_profile(scratch));
     }
     write_json_line(fd, std::move(o));
+  }
+  if (sink.enabled()) {
+    // Stream this worker's trace chunk before bye. Parents predating the
+    // "trace" record type ignore unknown types, so the protocol version
+    // holds at v1.
+    json::Object tr;
+    tr["type"] = "trace";
+    tr["data"] = sink.flush().to_value();
+    write_json_line(fd, std::move(tr));
   }
   {
     json::Object bye;
@@ -546,6 +623,7 @@ void Executor::run_sandboxed(const std::vector<Cell>& cells,
 
   bool stopped = false;
   auto finalize = [&](RunResult& r) {
+    sample_trace_counters();
     results_.push_back(r);
     append_progress(r);
     if (r.status != RunStatus::Passed && r.status != RunStatus::Skipped &&
@@ -556,6 +634,9 @@ void Executor::run_sandboxed(const std::vector<Cell>& cells,
   auto append_crash_line = [&](json::Object o) {
     const std::string path = crashes_path();
     if (path.empty()) return;
+    o["t_ms"] = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - run_start_)
+                    .count();
     std::ofstream os(path, std::ios::app);
     if (!os) return;  // forensics are best-effort; the sweep continues
     std::string line = json::Value(std::move(o)).dump();
@@ -652,8 +733,13 @@ void Executor::run_sandboxed(const std::vector<Cell>& cells,
       batch.reserve(work.size());
       for (const auto& p : work) batch.push_back(p.cell);
 
-      const sandbox::WorkerReport rep = sandbox::run_worker(
-          [&](int fd) { worker_main(fd, batch); }, limits);
+      const sandbox::WorkerReport rep = [&] {
+        // Parent-side span covering the worker's whole lifetime, so the
+        // timeline shows fork/wait cost around the worker's own spans.
+        cali::TraceSpan worker_span("worker");
+        return sandbox::run_worker([&](int fd) { worker_main(fd, batch); },
+                                   limits);
+      }();
       ++sandbox_stats_.children;
       sandbox_stats_.peak_rss_kb =
           std::max(sandbox_stats_.peak_rss_kb, rep.usage.max_rss_kb);
@@ -714,6 +800,14 @@ void Executor::run_sandboxed(const std::vector<Cell>& cells,
             requeue.push_back(std::move(p));
           } else {
             finalize(p.r);
+          }
+        } else if (type == "trace") {
+          try {
+            worker_traces_.push_back(
+                cali::TraceData::from_value(v.at("data")));
+          } catch (const std::exception&) {
+            // Malformed chunk: the timeline loses one worker's spans; the
+            // sweep's results are unaffected.
           }
         } else if (type == "bye") {
           // Fold the worker's fault-budget consumption and rng progress
@@ -795,6 +889,31 @@ void Executor::run_sandboxed(const std::vector<Cell>& cells,
       work = std::move(requeue);
     }
   }
+}
+
+void Executor::write_trace(const std::string& path) const {
+  std::vector<cali::TraceData> parts;
+  parts.reserve(1 + worker_traces_.size());
+  parts.push_back(main_trace_);
+  parts.insert(parts.end(), worker_traces_.begin(), worker_traces_.end());
+  std::map<std::string, std::string> meta;
+  meta["suite"] = "rajaperf-repro";
+  {
+    std::ostringstream os;
+    os << trace_overhead_pct_;
+    meta["trace_overhead_pct"] = os.str();
+  }
+  {
+    std::ostringstream os;
+    os << run_wall_sec_;
+    meta["run_wall_sec"] = os.str();
+  }
+  const std::string text = cali::chrome_trace_json(parts, meta);
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open trace file for writing: " + path);
+  }
+  os << text << '\n';
 }
 
 KernelBase* Executor::find_kernel(const std::string& name) const {

@@ -26,8 +26,17 @@
 // back over a versioned pipe protocol and the parent folds them into the
 // same channels, checkpoint, and reports as in-process execution, so the
 // two modes produce identical outputs for passing sweeps.
+//
+// With RunParams::trace, the process-wide TraceSink records the whole
+// sweep — a "sweep" span, one span per cell, per-thread spans from traced
+// OpenMP foralls, and counter tracks — including sandboxed workers, which
+// stream their trace chunk back over the pipe protocol with a fork-time
+// clock offset. write_trace() merges every chunk into one Chrome/Perfetto
+// timeline, and the sink's self-accounted cost lands in the
+// "trace_overhead_pct" run metadata.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,6 +44,7 @@
 
 #include "instrument/channel.hpp"
 #include "instrument/profile.hpp"
+#include "instrument/trace_sink.hpp"
 #include "suite/kernel_base.hpp"
 #include "suite/registry.hpp"
 #include "suite/run_params.hpp"
@@ -110,6 +120,19 @@ class Executor {
   /// Path of the crash-forensics sidecar ("" when output_dir is unset).
   [[nodiscard]] std::string crashes_path() const;
 
+  // ----- tracing (RunParams::trace) -----
+  /// Write the merged Chrome/Perfetto timeline (main process + every
+  /// sandboxed worker) recorded by the last run() to `path`.
+  void write_trace(const std::string& path) const;
+  /// Tracing cost as a percent of the sweep's wall time (0 when untraced).
+  [[nodiscard]] double trace_overhead_pct() const {
+    return trace_overhead_pct_;
+  }
+  /// Trace chunks received from sandboxed workers during the last run().
+  [[nodiscard]] std::size_t worker_trace_count() const {
+    return worker_traces_.size();
+  }
+
  private:
   struct Cell {
     KernelBase* kernel = nullptr;
@@ -154,6 +177,14 @@ class Executor {
   std::vector<RunResult> results_;
   std::map<std::string, int> crash_counts_;
   SandboxStats sandbox_stats_;
+
+  /// Sweep epoch for the monotonic t_ms stamped on progress/crash records.
+  std::chrono::steady_clock::time_point run_start_ =
+      std::chrono::steady_clock::now();
+  cali::TraceData main_trace_;
+  std::vector<cali::TraceData> worker_traces_;
+  double run_wall_sec_ = 0.0;
+  double trace_overhead_pct_ = 0.0;
 };
 
 }  // namespace rperf::suite

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "faults/injector.hpp"
+#include "instrument/trace_sink.hpp"
 #include "mem/cache.hpp"
 #include "mem/pool.hpp"
 
@@ -101,6 +102,15 @@ void KernelBase::execute(VariantID vid, std::size_t tuning,
   const mem::PoolStats pool_before = mem::pool().stats();
   const mem::CacheStats cache_before = mem::data_cache().stats();
 
+  // Per-thread span stats accumulate on the process-wide sink keyed by the
+  // kernel's region name; deltas across this execute() give this cell's
+  // load-imbalance contribution.
+  cali::TraceSink& sink = cali::TraceSink::instance();
+  const bool tracing = sink.enabled();
+  const std::uint32_t trace_name = tracing ? sink.intern(name_) : 0;
+  const cali::RegionThreadStats tspans_before =
+      tracing ? sink.instance_stats(trace_name) : cali::RegionThreadStats{};
+
   faults::ScopedCell cell(name_);
   faults::injector().on_lifecycle(name_);
   const auto budget_start = Clock::now();
@@ -185,6 +195,20 @@ void KernelBase::execute(VariantID vid, std::size_t tuning,
                               static_cast<double>(last_pool_hits_));
   channel.attribute_metric_at(name_, "cache_hit",
                               static_cast<double>(last_cache_hits_));
+
+  // Load-imbalance metrics from the traced OpenMP path. Max/mean thread
+  // times are sums over parallel instances, so they stay meaningful when
+  // channels merge; the imbalance ratio is their quotient for this cell.
+  if (tracing && sink.enabled()) {
+    const cali::RegionThreadStats after = sink.instance_stats(trace_name);
+    const double d_max = after.sum_max_sec - tspans_before.sum_max_sec;
+    const double d_mean = after.sum_mean_sec - tspans_before.sum_mean_sec;
+    if (after.instances > tspans_before.instances && d_mean > 0.0) {
+      channel.attribute_metric_at(name_, "tspan_max_ms", d_max * 1e3);
+      channel.attribute_metric_at(name_, "tspan_mean_ms", d_mean * 1e3);
+      channel.attribute_metric_at(name_, "load_imbalance", d_max / d_mean);
+    }
+  }
 
   time_per_rep_[{vid, tuning}] = best;
   checksums_[{vid, tuning}] = csum;

@@ -23,14 +23,27 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 RunParams RunParams::parse(int argc, const char* const* argv) {
   RunParams p;
+  // Normalize "--flag=value" into "--flag" "value" so both spellings work.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string raw = argv[i];
+    const std::size_t eq = raw.find('=');
+    if (raw.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(raw.substr(0, eq));
+      args.push_back(raw.substr(eq + 1));
+    } else {
+      args.push_back(raw);
+    }
+  }
+  const int n = static_cast<int>(args.size());
   auto need_value = [&](int i, const std::string& flag) {
-    if (i + 1 >= argc) {
+    if (i + 1 >= n) {
       throw std::invalid_argument("missing value for " + flag);
     }
-    return std::string(argv[i + 1]);
+    return args[i + 1];
   };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  for (int i = 0; i < n; ++i) {
+    const std::string arg = args[i];
     if (arg == "--size-factor") {
       p.size_factor = std::stod(need_value(i, arg));
       ++i;
@@ -59,6 +72,14 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
     } else if (arg == "--outdir") {
       p.output_dir = need_value(i, arg);
       ++i;
+    } else if (arg == "--trace") {
+      p.trace = true;
+      // Optional value: "--trace=PATH" (or "--trace PATH"); a following
+      // flag means "use the default path".
+      if (i + 1 < n && args[i + 1].rfind("-", 0) != 0) {
+        p.trace_path = args[i + 1];
+        ++i;
+      }
     } else if (arg == "--tunings") {
       p.run_tunings = true;
     } else if (arg == "--keep-going") {
@@ -131,6 +152,10 @@ std::string RunParams::usage() {
          "  --variants V,W    run only the named variants\n"
          "  --tunings         run every registered tuning per kernel\n"
          "  --outdir DIR      write one .cali.json profile per variant\n"
+         "  --trace[=PATH]    record a merged Chrome/Perfetto timeline of\n"
+         "                    the whole sweep (all processes and threads)\n"
+         "                    to PATH (default <outdir>/trace.json); open\n"
+         "                    at ui.perfetto.dev\n"
          "  --keep-going      continue past failed cells (default)\n"
          "  --no-keep-going   stop the sweep at the first failure\n"
          "  --retries N       extra attempts for failed cells (default 0)\n"

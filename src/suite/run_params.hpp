@@ -36,6 +36,12 @@ struct RunParams {
 
   /// Directory for .cali.json profiles; empty = don't write.
   std::string output_dir;
+  /// Record a merged Chrome/Perfetto timeline for the sweep (all processes
+  /// and threads, including sandboxed workers). Enabled by --trace[=PATH].
+  bool trace = false;
+  /// Destination for the trace file; empty = <outdir>/trace.json (or
+  /// ./trace.json when no outdir is set).
+  std::string trace_path;
   /// Extra metadata recorded in every profile.
   std::vector<std::pair<std::string, std::string>> metadata;
 
@@ -108,6 +114,7 @@ struct RunParams {
   ///   --size-factor F  --size N  --reps-factor F  --npasses N
   ///   --kernels A,B    --groups G,H  --variants V,W  --outdir DIR
   ///   --tunings        (run all registered tunings)
+  /// Both "--flag VALUE" and "--flag=VALUE" spellings are accepted.
   /// Throws std::invalid_argument on malformed input.
   static RunParams parse(int argc, const char* const* argv);
 

@@ -1,0 +1,7 @@
+# Attach the "observability" label (alongside tier1) to every test that
+# gtest_discover_tests found in test_trace. Runs at ctest time via
+# TEST_INCLUDE_FILES, after the discovered tests exist; the tsan preset
+# filters on this label to run the per-thread trace tests under TSan.
+foreach(t IN LISTS test_trace_gtests)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1;observability")
+endforeach()

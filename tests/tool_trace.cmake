@@ -1,0 +1,88 @@
+# The acceptance scenario for the tracing service: a sandboxed sweep with
+# --trace produces ONE Chrome-trace file covering the driver and every
+# forked worker (>= 2 process rows), with per-thread spans for the OpenMP
+# variant, readable by rperf-report --trace (summary, top-N, flamegraph),
+# and monotonic t_ms stamps in progress.jsonl for timeline correlation.
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env OMP_NUM_THREADS=2
+          "${RAJAPERF}" --kernels Basic_DAXPY,Stream_TRIAD
+          --variants Base_Seq,RAJA_OpenMP --size-factor 0.01
+          --trace "${WORKDIR}/out/trace.json" --isolate=cell
+          --outdir "${WORKDIR}/out"
+  OUTPUT_VARIABLE out1
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "traced run: want exit 0, got ${rc1}:\n${out1}")
+endif()
+if(NOT out1 MATCHES "trace written to")
+  message(FATAL_ERROR "traced run announced no trace file:\n${out1}")
+endif()
+if(NOT out1 MATCHES "\\(([0-9]+) worker chunk")
+  message(FATAL_ERROR "trace line lacks the worker-chunk count:\n${out1}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "sandboxed run streamed no worker trace chunks:\n${out1}")
+endif()
+if(NOT EXISTS "${WORKDIR}/out/trace.json")
+  message(FATAL_ERROR "no trace.json written")
+endif()
+
+# progress.jsonl records carry the monotonic t_ms stamp.
+file(READ "${WORKDIR}/out/progress.jsonl" progress)
+if(NOT progress MATCHES "\"t_ms\"")
+  message(FATAL_ERROR "progress.jsonl records lack t_ms:\n${progress}")
+endif()
+
+# Summary: one merged timeline with the driver plus worker process rows,
+# per-thread rows from the OpenMP variant, and the recorded overhead.
+execute_process(
+  COMMAND "${REPORT}" --trace "${WORKDIR}/out/trace.json"
+  OUTPUT_VARIABLE out2
+  RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "report --trace: want exit 0, got ${rc2}:\n${out2}")
+endif()
+if(NOT out2 MATCHES "([0-9]+) process")
+  message(FATAL_ERROR "report --trace printed no process count:\n${out2}")
+endif()
+if(CMAKE_MATCH_1 LESS 2)
+  message(FATAL_ERROR "want >= 2 process rows (main + worker), got "
+                      "${CMAKE_MATCH_1}:\n${out2}")
+endif()
+if(NOT out2 MATCHES "([0-9]+) thread row")
+  message(FATAL_ERROR "report --trace printed no thread-row count:\n${out2}")
+endif()
+if(CMAKE_MATCH_1 LESS 2)
+  message(FATAL_ERROR "want >= 2 thread rows from the OpenMP variant, got "
+                      "${CMAKE_MATCH_1}:\n${out2}")
+endif()
+if(NOT out2 MATCHES "rperf-worker")
+  message(FATAL_ERROR "no rperf-worker process row:\n${out2}")
+endif()
+if(NOT out2 MATCHES "recorded trace overhead:")
+  message(FATAL_ERROR "no self-accounted overhead in trace meta:\n${out2}")
+endif()
+if(NOT out2 MATCHES "Top [0-9]+ regions by exclusive time")
+  message(FATAL_ERROR "no top-regions table:\n${out2}")
+endif()
+if(NOT out2 MATCHES "Stream_TRIAD")
+  message(FATAL_ERROR "top-regions table lacks the swept kernel:\n${out2}")
+endif()
+
+# Flamegraph mode: folded stacks rooted at the process name.
+execute_process(
+  COMMAND "${REPORT}" --trace "${WORKDIR}/out/trace.json" --flamegraph
+  OUTPUT_VARIABLE out3
+  RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "report --flamegraph: want exit 0, got ${rc3}:\n${out3}")
+endif()
+if(NOT out3 MATCHES "rajaperf;sweep")
+  message(FATAL_ERROR "folded stacks lack the driver's sweep root:\n${out3}")
+endif()
+if(NOT out3 MATCHES "rperf-worker;")
+  message(FATAL_ERROR "folded stacks lack worker frames:\n${out3}")
+endif()

@@ -1,0 +1,28 @@
+# Overhead guard: the tracing service must cost < 5% of wall time on the
+# perf-smoke sweep. The run self-accounts (calibrated per-record append
+# cost + measured flush time) and prints the percentage on the trace line;
+# the same figure lands in run metadata as trace_overhead_pct.
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+  COMMAND "${RAJAPERF}" --kernels Basic_DAXPY,Stream_TRIAD,Stream_DOT
+          --variants Base_Seq,RAJA_OpenMP --size-factor 0.02
+          --trace --outdir "${WORKDIR}/out"
+  OUTPUT_VARIABLE out1
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "traced run: want exit 0, got ${rc1}:\n${out1}")
+endif()
+if(NOT out1 MATCHES "overhead ([0-9]+)(\\.[0-9]+)?% of wall time")
+  message(FATAL_ERROR "trace line lacks the overhead figure:\n${out1}")
+endif()
+# Compare on the integer part: anything whose whole part reaches 5 fails.
+if(CMAKE_MATCH_1 GREATER_EQUAL 5)
+  message(FATAL_ERROR "trace overhead ${CMAKE_MATCH_1}${CMAKE_MATCH_2}% "
+                      ">= 5% of wall time:\n${out1}")
+endif()
+# --trace without a value defaults to <outdir>/trace.json.
+if(NOT EXISTS "${WORKDIR}/out/trace.json")
+  message(FATAL_ERROR "default trace path <outdir>/trace.json not written")
+endif()

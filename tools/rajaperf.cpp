@@ -168,6 +168,21 @@ int main(int argc, char** argv) {
                   params.output_dir.c_str(), exec.progress_path().c_str());
     }
 
+    if (params.trace) {
+      std::string trace_path = params.trace_path;
+      if (trace_path.empty()) {
+        trace_path = params.output_dir.empty()
+                         ? "trace.json"
+                         : params.output_dir + "/trace.json";
+      }
+      exec.write_trace(trace_path);
+      std::printf("trace written to %s (%zu worker chunk%s, overhead "
+                  "%.2f%% of wall time); open at ui.perfetto.dev\n",
+                  trace_path.c_str(), exec.worker_trace_count(),
+                  exec.worker_trace_count() == 1 ? "" : "s",
+                  exec.trace_overhead_pct());
+    }
+
     // Crash forensics hint: any Crashed/OutOfMemory/Killed cell has a
     // detailed record (signal, backtrace-bearing stderr tail, rusage)
     // in the crashes.jsonl sidecar.

@@ -2,6 +2,7 @@
 //
 //   rperf-report DIR [--metric M] [--label KEY] [--stats NODE METRIC]
 //                    [--groupby KEY] [--compare DIR2 [--threshold T]]
+//   rperf-report --trace FILE [--top N] [--flamegraph]
 //
 // Examples:
 //   rperf-report out/                       # time table, labelled by variant
@@ -9,13 +10,23 @@
 //   rperf-report out/ --stats Stream_TRIAD time
 //   rperf-report out/ --groupby tuning
 //   rperf-report baseline/ --compare candidate/ --threshold 1.1
+//   rperf-report --trace out/trace.json --top 10
+//   rperf-report --trace out/trace.json --flamegraph > sweep.folded
 //
 // When DIR holds a crashes.jsonl sidecar (written by rajaperf --isolate),
 // a crash summary is appended: per cell, how many times its worker died,
 // on which signal, and whether it is quarantined.
 //
+// --trace mode reads a Chrome/Perfetto trace written by rajaperf --trace:
+// the default output is a summary (processes, threads, spans, counters,
+// recorded overhead) plus the top-N regions by exclusive time;
+// --flamegraph instead emits folded-stack lines ("proc;a;b usec") on
+// stdout for flamegraph.pl or speedscope.
+//
 // Exit codes: 0 ok; 1 read/analysis error; 2 usage error; 3 regressions
-// flagged by --compare; 4 crash records present in DIR (summary printed);
+// flagged by --compare; 4 crash records present in DIR (summary printed —
+// the sweep "completed" only by containing worker crashes, so CI should
+// look at the crash summary rather than trust the tables alone);
 // 70 unknown (non-std::exception) error.
 #include <cstdio>
 #include <cstring>
@@ -23,10 +34,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "analysis/thicket.hpp"
 #include "instrument/json.hpp"
+#include "instrument/trace_export.hpp"
 
 namespace {
 
@@ -86,6 +99,70 @@ bool print_crash_summary(const std::string& dir) {
   return true;
 }
 
+/// `rperf-report --trace FILE [--top N] [--flamegraph]`.
+int trace_mode(int argc, char** argv) {
+  namespace cali = rperf::cali;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: rperf-report --trace FILE [--top N] "
+                 "[--flamegraph]\n");
+    return 2;
+  }
+  const std::string path = argv[2];
+  std::size_t top_n = 10;
+  bool flamegraph = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--flamegraph") == 0) {
+      flamegraph = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "error: cannot open trace file: %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const cali::ChromeTrace trace = cali::chrome_trace_parse(buffer.str());
+
+  if (flamegraph) {
+    // Folded stacks on stdout, ready for flamegraph.pl / speedscope.
+    for (const auto& line : cali::fold_stacks(trace)) {
+      std::printf("%s %.0f\n", line.stack.c_str(), line.usec);
+    }
+    return 0;
+  }
+
+  std::printf("%s: %zu process%s, %zu thread row%s, %zu spans, "
+              "%zu counter samples\n",
+              path.c_str(), trace.process_count(),
+              trace.process_count() == 1 ? "" : "es", trace.thread_count(),
+              trace.thread_count() == 1 ? "" : "s", trace.spans.size(),
+              trace.counter_events);
+  for (const auto& [pid, name] : trace.process_names) {
+    std::printf("  pid %d: %s\n", pid, name.c_str());
+  }
+  const auto overhead = trace.meta.find("trace_overhead_pct");
+  if (overhead != trace.meta.end()) {
+    std::printf("recorded trace overhead: %s%% of wall time\n",
+                overhead->second.c_str());
+  }
+  std::printf("\nTop %zu regions by exclusive time:\n", top_n);
+  std::printf("  %-44s %12s %12s %8s\n", "Region", "excl (ms)", "incl (ms)",
+              "count");
+  for (const auto& r : cali::top_exclusive(trace, top_n)) {
+    std::printf("  %-44s %12.3f %12.3f %8llu\n", r.name.c_str(),
+                r.exclusive_us / 1e3, r.inclusive_us / 1e3,
+                static_cast<unsigned long long>(r.count));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,10 +170,15 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: rperf-report DIR [--metric M] [--label KEY] "
-                 "[--stats NODE METRIC] [--groupby KEY]\n");
+                 "[--stats NODE METRIC] [--groupby KEY]\n"
+                 "       rperf-report --trace FILE [--top N] "
+                 "[--flamegraph]\n"
+                 "exit codes: 0 ok, 1 read error, 2 usage, 3 regressions,\n"
+                 "  4 crash records present in DIR, 70 unknown error\n");
     return 2;
   }
   try {
+    if (std::strcmp(argv[1], "--trace") == 0) return trace_mode(argc, argv);
     const auto tk = thicket::Thicket::from_directory(argv[1]);
     std::string metric = "time";
     std::string label = "variant";
