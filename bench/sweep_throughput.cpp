@@ -11,6 +11,16 @@
 //               checking the tracer's self-accounted overhead figure
 //               against the measured wall-time delta.
 //
+// Plus two sandboxed legs quantifying the cost of crash containment
+// (these run FIRST: they fork workers, and a fork after the in-process
+// legs have warmed libgomp's thread pool would deadlock):
+//
+//   forkcell  — --isolate cell, one disposable worker per cell: the
+//               fork-per-cell sandbox path.
+//   pooled    — --workers 4: the supervised persistent worker pool, which
+//               amortizes the fork and warm-up over the whole sweep. The
+//               pooled-vs-fork speedup is the pool's reason to exist.
+//
 // Only setup machinery differs; the measured kernel loops are identical.
 // The benchmark reports wall time and cells/second for both modes, checks
 // that every cell's checksum agrees across modes (the fills are bit-
@@ -184,6 +194,27 @@ int main(int argc, char** argv) {
       groups.c_str(), size_factor.c_str(), reps_factor.c_str(),
       npasses.c_str(), exclude.c_str());
 
+  // Sandbox legs first — see the header comment: forking is only safe
+  // while this process has never entered an OpenMP parallel region.
+  suite::RunParams sand = params;
+  sand.isolate = suite::IsolationMode::Cell;
+  const ModeResult forkcell = run_mode(/*legacy=*/false, /*traced=*/false,
+                                       sand);
+  std::printf("  forkcell:  %.3f s wall, %zu/%zu cells passed "
+              "(%.1f cells/s; fork-per-cell sandbox)\n",
+              forkcell.wall_sec, forkcell.passed, forkcell.cells,
+              static_cast<double>(forkcell.passed) / forkcell.wall_sec);
+
+  sand.workers = 4;
+  const ModeResult pooled = run_mode(/*legacy=*/false, /*traced=*/false,
+                                     sand);
+  const double pooled_speedup = forkcell.wall_sec / pooled.wall_sec;
+  std::printf("  pooled:    %.3f s wall, %zu/%zu cells passed "
+              "(%.1f cells/s; 4 pooled workers, %.2fx vs fork-per-cell)\n",
+              pooled.wall_sec, pooled.passed, pooled.cells,
+              static_cast<double>(pooled.passed) / pooled.wall_sec,
+              pooled_speedup);
+
   // Legacy first so the optimized run cannot inherit warmed pool chunks the
   // legacy run would not have; each mode starts from an empty pool/cache.
   const ModeResult legacy = run_mode(/*legacy=*/true, /*traced=*/false,
@@ -231,6 +262,22 @@ int main(int argc, char** argv) {
                    key.c_str(), legacy_sum, it->second);
     }
   }
+  // Sandboxed results must be bit-identical to in-process ones: same code,
+  // same deterministic fills, only the executing process differs. Exact
+  // == (not memcmp: x86 long double carries uninitialized padding bytes).
+  std::size_t sandbox_mismatched = 0;
+  for (const auto* leg : {&forkcell, &pooled}) {
+    for (const auto& [key, sum] : leg->checksums) {
+      const auto it = opt.checksums.find(key);
+      if (it == opt.checksums.end()) continue;
+      if (sum != it->second) {
+        ++sandbox_mismatched;
+        std::fprintf(stderr,
+                     "  sandbox checksum mismatch %s: %.17Lg vs %.17Lg\n",
+                     key.c_str(), sum, it->second);
+      }
+    }
+  }
   const bool bit_identical = fills_bit_identical();
 
   const double reduction_pct =
@@ -268,6 +315,21 @@ int main(int argc, char** argv) {
   tr["trace_overhead_pct"] = traced.trace_overhead_pct;
   tr["measured_delta_pct"] = traced_delta_pct;
   o["traced"] = std::move(tr);
+  json::Object fc;
+  fc["wall_sec"] = forkcell.wall_sec;
+  fc["cells_passed"] = static_cast<std::int64_t>(forkcell.passed);
+  fc["cells_per_sec"] =
+      static_cast<double>(forkcell.passed) / forkcell.wall_sec;
+  o["sandbox_forkcell"] = std::move(fc);
+  json::Object pl;
+  pl["wall_sec"] = pooled.wall_sec;
+  pl["cells_passed"] = static_cast<std::int64_t>(pooled.passed);
+  pl["cells_per_sec"] = static_cast<double>(pooled.passed) / pooled.wall_sec;
+  pl["workers"] = static_cast<std::int64_t>(4);
+  o["sandbox_pooled"] = std::move(pl);
+  o["pooled_vs_fork_speedup"] = pooled_speedup;
+  o["sandbox_checksums_mismatched"] =
+      static_cast<std::int64_t>(sandbox_mismatched);
   o["wall_time_reduction_pct"] = reduction_pct;
   o["checksums_compared"] = static_cast<std::int64_t>(compared);
   o["checksums_mismatched"] = static_cast<std::int64_t>(mismatched);
@@ -277,8 +339,9 @@ int main(int argc, char** argv) {
   os << json::Value(std::move(o)).dump(2) << '\n';
   std::printf("  wrote %s\n", json_path.c_str());
 
-  if (mismatched > 0 || !bit_identical) return 1;
+  if (mismatched > 0 || sandbox_mismatched > 0 || !bit_identical) return 1;
   if (legacy.passed != opt.passed || legacy.passed == 0) return 1;
   if (traced.passed != opt.passed) return 1;
+  if (forkcell.passed != opt.passed || pooled.passed != opt.passed) return 1;
   return 0;
 }

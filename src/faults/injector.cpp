@@ -27,9 +27,12 @@ FaultKind kind_from_string(const std::string& s) {
   if (s == "abort") return FaultKind::Abort;
   if (s == "oom") return FaultKind::Oom;
   if (s == "hang") return FaultKind::Hang;
+  if (s == "hbdrop") return FaultKind::HeartbeatDrop;
+  if (s == "protocorrupt") return FaultKind::ProtocolCorrupt;
   throw std::invalid_argument(
       "faults: unknown fault kind '" + s +
-      "' (want alloc|throw|slow|corrupt|segv|abort|oom|hang)");
+      "' (want alloc|throw|slow|corrupt|segv|abort|oom|hang|hbdrop|"
+      "protocorrupt)");
 }
 
 /// Exhaust memory the way a runaway kernel would: allocate and touch
@@ -115,13 +118,16 @@ std::string to_string(FaultKind k) {
     case FaultKind::Abort: return "abort";
     case FaultKind::Oom: return "oom";
     case FaultKind::Hang: return "hang";
+    case FaultKind::HeartbeatDrop: return "hbdrop";
+    case FaultKind::ProtocolCorrupt: return "protocorrupt";
   }
   return "?";
 }
 
 bool is_process_fatal(FaultKind k) {
   return k == FaultKind::Segv || k == FaultKind::Abort ||
-         k == FaultKind::Oom || k == FaultKind::Hang;
+         k == FaultKind::Oom || k == FaultKind::Hang ||
+         k == FaultKind::HeartbeatDrop || k == FaultKind::ProtocolCorrupt;
 }
 
 std::vector<FaultSpec> Injector::parse(const std::string& spec) {
@@ -243,6 +249,18 @@ long double Injector::corrupt_checksum(const std::string& kernel,
     }
   }
   return checksum;
+}
+
+bool Injector::fire_wire_fault(FaultKind kind, const std::string& kernel) {
+  if (kind != FaultKind::HeartbeatDrop && kind != FaultKind::ProtocolCorrupt) {
+    return false;
+  }
+  for (auto& spec : specs_) {
+    if (spec.kind == kind && matches(spec, kernel) && fire(spec)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Injector::serialize_state() const {

@@ -14,6 +14,7 @@
 //   entry  := kind '@' kernel [':' arg]
 //   kind   := 'alloc' | 'throw' | 'slow' | 'corrupt'
 //           | 'segv' | 'abort' | 'oom' | 'hang'
+//           | 'hbdrop' | 'protocorrupt'   (worker-pool wire faults)
 //   kernel := full kernel name (e.g. Stream_TRIAD) or '*' for any
 //   arg    := COUNT        fire at most COUNT times, then disarm
 //                          (alloc/throw/corrupt; default: unlimited)
@@ -53,6 +54,16 @@ enum class FaultKind {
   Abort,
   Oom,
   Hang,
+  // Wire-level kinds (worker-pool coverage): queried explicitly by the
+  // pooled worker loop via fire_wire_fault, never by on_lifecycle, so
+  // they are inert outside --workers mode. 'hbdrop' silences the worker's
+  // heartbeats and wedges it (the supervisor must detect the lost
+  // liveness); 'protocorrupt' corrupts the CRC of the worker's next
+  // result frame (the supervisor must detect the torn record instead of
+  // mis-parsing it). Both leave the worker doomed, so they count as
+  // process-fatal.
+  HeartbeatDrop,
+  ProtocolCorrupt,
 };
 
 /// True for kinds that terminate or wedge the executing process.
@@ -106,6 +117,13 @@ class Injector {
   /// otherwise returns `checksum` unchanged.
   [[nodiscard]] long double corrupt_checksum(const std::string& kernel,
                                              long double checksum);
+  /// Explicit query for the wire-level kinds (HeartbeatDrop /
+  /// ProtocolCorrupt): true when an armed spec of `kind` fires for
+  /// `kernel`. Called by the pooled worker loop around each job; the act
+  /// of sabotaging the wire is the caller's job (WorkerPool exposes the
+  /// controls), keeping the injector free of transport knowledge.
+  [[nodiscard]] bool fire_wire_fault(FaultKind kind,
+                                     const std::string& kernel);
 
   // ----- state transfer (sandboxed execution) -----
   // A forked worker inherits the injector's armed state; these let the

@@ -1,7 +1,10 @@
 // Pipe-protocol constants shared by the sweep parent and its sandboxed
 // worker processes.
 //
-// Workers stream line-delimited JSON records over an anonymous pipe:
+// Two generations coexist:
+//
+// v1 (disposable workers, sandbox::run_worker): line-delimited JSON over
+// an anonymous pipe:
 //
 //   {"type":"hello","proto":1,"pid":12345}
 //   {"type":"cell", ...RunResult fields..., "profile":{...}}   (per cell)
@@ -12,30 +15,139 @@
 // record, attributes a missing/partial stream to a worker crash at the
 // first unreported cell, and folds the bye's injector state back so fault
 // budgets and the seeded probability stream progress across workers the
-// same way they would in a single process. Bump kProtocolVersion whenever
-// a record's schema changes incompatibly.
+// same way they would in a single process.
 //
-// The "trace" record (added for `rajaperf --trace`) carries the worker's
-// TraceSink snapshot — interned names, span/counter records, and a
-// fork-time clock offset — so the parent can splice the worker's spans
-// onto one merged timeline. It is a backward-compatible extension:
-// readers ignore record types they do not know, so kProtocolVersion
-// stays at 1.
+// v2 (persistent worker pool, sandbox::WorkerPool): the same JSON records
+// travel as length-framed, CRC32-checked binary frames:
+//
+//   [u32 magic][u32 payload length][u32 crc32(payload)][payload bytes]
+//
+// all little-endian. Framing exists because a *persistent* connection has
+// failure modes a one-shot pipe does not: a worker that keeps running
+// after scribbling a torn or corrupted record would silently poison every
+// later cell. A bad magic, an implausible length, or a CRC mismatch is
+// detected at the frame boundary; the supervisor treats the worker as
+// compromised, kills it, and retries the in-flight cell on a fresh worker
+// instead of mis-parsing. Frame payloads are the v1 JSON records plus the
+// pool's own control/liveness types ("job", "result", "hb", "drain",
+// "final"); see sandbox/pool.hpp. Bump the matching version constant
+// whenever a record's schema changes incompatibly.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace rperf::sandbox {
 
-/// Version of the parent<->worker record schema.
+/// Version of the v1 (line-delimited) parent<->worker record schema.
 inline constexpr int kProtocolVersion = 1;
+
+/// Version of the v2 (framed) pool protocol carried in "hello" frames.
+inline constexpr int kProtocolVersionFramed = 2;
 
 /// Exit code a worker uses for "memory exhausted": either the injector's
 /// oom fault hit its allocation cap, or std::bad_alloc escaped the cell
 /// runner (e.g. RLIMIT_AS). Chosen outside the 0-63 range tools use.
 inline constexpr int kOomExitCode = 86;
+
+/// Leading magic word of every v2 frame ("RPF2" little-endian). A frame
+/// that does not start with it means the stream lost sync — fail closed.
+inline constexpr std::uint32_t kFrameMagic = 0x32465052u;
+
+/// Upper bound on a single frame's payload (64 MiB). Real records are a
+/// few KiB (cell results with embedded profiles top out well below 1 MiB);
+/// a length beyond this is corruption, not data.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`. Table built on first use.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n) {
+  static const auto table = [] {
+    struct Table { std::uint32_t t[256]; };
+    Table tb{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      tb.t[i] = c;
+    }
+    return tb;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// Encode one v2 frame around `payload`. With `corrupt_crc` the stored
+/// checksum is deliberately flipped — used only by the protocol-corrupt
+/// fault to prove the receiver detects a bad frame instead of parsing it.
+[[nodiscard]] inline std::string frame_encode(const std::string& payload,
+                                              bool corrupt_crc = false) {
+  std::string out;
+  out.reserve(12 + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::uint32_t crc = crc32(payload.data(), payload.size());
+  if (corrupt_crc) crc ^= 0xA5A5A5A5u;
+  auto put = [&out](std::uint32_t v) {
+    char b[4];
+    std::memcpy(b, &v, 4);  // little-endian hosts only (as is the repo)
+    out.append(b, 4);
+  };
+  put(kFrameMagic);
+  put(len);
+  put(crc);
+  out += payload;
+  return out;
+}
+
+/// Incremental v2 frame decoder: feed() raw bytes, next() pops payloads.
+/// Once a structural violation is seen (bad magic, oversize length, CRC
+/// mismatch) the reader latches Corrupt — a stream that lost sync cannot
+/// be trusted again, so there is deliberately no resync path.
+class FrameReader {
+ public:
+  enum class Status { NeedMore, Frame, Corrupt };
+
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// Pop the next complete frame's payload into `payload`.
+  [[nodiscard]] Status next(std::string& payload) {
+    if (corrupt_) return Status::Corrupt;
+    if (buf_.size() < 12) return Status::NeedMore;
+    std::uint32_t magic = 0;
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&magic, buf_.data(), 4);
+    std::memcpy(&len, buf_.data() + 4, 4);
+    std::memcpy(&crc, buf_.data() + 8, 4);
+    if (magic != kFrameMagic || len > kMaxFramePayload) {
+      corrupt_ = true;
+      return Status::Corrupt;
+    }
+    if (buf_.size() < 12 + static_cast<std::size_t>(len)) {
+      return Status::NeedMore;
+    }
+    if (crc32(buf_.data() + 12, len) != crc) {
+      corrupt_ = true;
+      return Status::Corrupt;
+    }
+    payload.assign(buf_.data() + 12, len);
+    buf_.erase(0, 12 + static_cast<std::size_t>(len));
+    return Status::Frame;
+  }
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buf_;
+  bool corrupt_ = false;
+};
 
 /// Exact long-double round-trip for checksums crossing the pipe: JSON
 /// numbers are doubles, so the wire carries a C99 hexfloat string too.

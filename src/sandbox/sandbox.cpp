@@ -57,35 +57,6 @@ void worker_crash_handler(int sig) {
   raise(sig);  // SA_RESETHAND restored the default action
 }
 
-void install_worker_crash_handlers() {
-  struct sigaction sa;
-  memset(&sa, 0, sizeof(sa));
-  sa.sa_handler = worker_crash_handler;
-  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
-  sigemptyset(&sa.sa_mask);
-  for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
-    sigaction(sig, &sa, nullptr);
-  }
-}
-
-void apply_limits(const Limits& limits) {
-  rlimit rl;
-  rl.rlim_cur = 0;  // no core files: the pipe forensics are the record
-  rl.rlim_max = 0;
-  setrlimit(RLIMIT_CORE, &rl);
-  if (limits.address_space_bytes > 0) {
-    rl.rlim_cur = limits.address_space_bytes;
-    rl.rlim_max = limits.address_space_bytes;
-    setrlimit(RLIMIT_AS, &rl);
-  }
-  if (limits.cpu_seconds > 0.0) {
-    const auto secs = static_cast<rlim_t>(limits.cpu_seconds + 0.999);
-    rl.rlim_cur = secs;
-    rl.rlim_max = secs + 2;  // hard kill shortly after SIGXCPU
-    setrlimit(RLIMIT_CPU, &rl);
-  }
-}
-
 /// Append `buf[0..n)` to `tail`, keeping only the last kStderrTailMax bytes.
 void append_tail(std::string& tail, const char* buf, std::size_t n) {
   tail.append(buf, n);
@@ -106,6 +77,35 @@ void set_nonblocking(int fd) {
 }
 
 }  // namespace
+
+void install_worker_crash_handlers() {
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = worker_crash_handler;
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    sigaction(sig, &sa, nullptr);
+  }
+}
+
+void apply_worker_limits(const Limits& limits) {
+  rlimit rl;
+  rl.rlim_cur = 0;  // no core files: the pipe forensics are the record
+  rl.rlim_max = 0;
+  setrlimit(RLIMIT_CORE, &rl);
+  if (limits.address_space_bytes > 0) {
+    rl.rlim_cur = limits.address_space_bytes;
+    rl.rlim_max = limits.address_space_bytes;
+    setrlimit(RLIMIT_AS, &rl);
+  }
+  if (limits.cpu_seconds > 0.0) {
+    const auto secs = static_cast<rlim_t>(limits.cpu_seconds + 0.999);
+    rl.rlim_cur = secs;
+    rl.rlim_max = secs + 2;  // hard kill shortly after SIGXCPU
+    setrlimit(RLIMIT_CPU, &rl);
+  }
+}
 
 std::string signal_name(int sig) {
   switch (sig) {
@@ -185,7 +185,7 @@ WorkerReport run_worker(const std::function<void(int out_fd)>& fn,
     // default dispositions so SIGTERM from the parent terminates it.
     signal(SIGINT, SIG_DFL);
     signal(SIGTERM, SIG_DFL);
-    apply_limits(limits);
+    apply_worker_limits(limits);
     install_worker_crash_handlers();
     try {
       fn(proto_fd[1]);

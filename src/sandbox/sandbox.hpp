@@ -90,6 +90,15 @@ struct WorkerReport {
 /// Name for a signal number ("SIGSEGV"); falls back to "SIG<n>".
 [[nodiscard]] std::string signal_name(int sig);
 
+// ----- worker-side setup, shared by run_worker and the WorkerPool -----
+/// Apply RLIMIT_CORE=0 plus the rlimit fields of `limits` (wall-clock
+/// fields are parent-side policy and ignored here). Call in the child.
+void apply_worker_limits(const Limits& limits);
+/// Install the fatal-signal handlers that dump a backtrace to stderr and
+/// re-raise. Call in the child after stderr is rerouted to the forensics
+/// pipe.
+void install_worker_crash_handlers();
+
 // ----- graceful interruption (SIGINT/SIGTERM) -----
 /// Install process-wide handlers that latch the signal and forward
 /// SIGTERM to the currently live worker (if any). Idempotent.

@@ -303,10 +303,23 @@ std::map<std::string, int> Executor::load_crash_counts() const {
   if (path.empty() || !std::filesystem::exists(path)) return out;
   std::ifstream is(path);
   std::string line;
+  int line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
+    json::Value v;
     try {
-      const json::Value v = json::Value::parse(line);
+      v = json::Value::parse(line);
+    } catch (const json::JsonError&) {
+      // Torn record from a run that died mid-append — same failure mode as
+      // progress.jsonl. Warn and drop: the crash it described is not
+      // counted, so quarantine errs toward re-running the cell.
+      std::cerr << "warning: " << path << ":" << line_no
+                << ": dropping truncated crash record; "
+                   "quarantine counting stays conservative\n";
+      continue;
+    }
+    try {
       if (v.string_or("kind", "crash") != "crash") continue;
       const std::string key =
           cell_key(v.at("kernel").as_string(),
@@ -314,7 +327,7 @@ std::map<std::string, int> Executor::load_crash_counts() const {
                    v.at("tuning").as_string());
       ++out[key];
     } catch (const std::exception&) {
-      continue;  // torn or foreign line: crash counting stays conservative
+      continue;  // foreign record from an older build — not a crash count
     }
   }
   return out;
@@ -325,6 +338,8 @@ void Executor::run() {
   channels_.clear();
   crash_counts_.clear();
   sandbox_stats_ = SandboxStats{};
+  pool_stats_ = sandbox::PoolStats{};
+  degraded_ = false;
   main_trace_ = cali::TraceData{};
   worker_traces_.clear();
   run_wall_sec_ = 0.0;
@@ -376,6 +391,8 @@ void Executor::run() {
     cali::TraceSpan sweep_span("sweep");
     if (params_.isolate == IsolationMode::None) {
       run_in_process(cells, prior);
+    } else if (params_.workers > 0) {
+      run_pooled(cells, prior);
     } else {
       run_sandboxed(cells, prior);
     }
@@ -443,6 +460,26 @@ void Executor::run() {
                            std::to_string(sandbox_stats_.peak_rss_kb));
       channel.set_metadata("sandbox_child_user_sec", sandbox_stats_.user_sec);
       channel.set_metadata("sandbox_child_sys_sec", sandbox_stats_.sys_sec);
+      if (params_.workers > 0) {
+        // Worker-pool supervision summary (process-wide, same in every
+        // slice): how many workers were spawned/recycled and why, so a
+        // profile records what crash containment cost the sweep.
+        channel.set_metadata("pool_workers", std::to_string(params_.workers));
+        channel.set_metadata("pool_spawns",
+                             std::to_string(pool_stats_.spawns));
+        channel.set_metadata("pool_recycles",
+                             std::to_string(pool_stats_.recycles));
+        channel.set_metadata(
+            "pool_heartbeat_timeouts",
+            std::to_string(pool_stats_.heartbeat_timeouts));
+        channel.set_metadata("pool_deadline_kills",
+                             std::to_string(pool_stats_.deadline_kills));
+        channel.set_metadata("pool_corrupt_frames",
+                             std::to_string(pool_stats_.corrupt_frames));
+        channel.set_metadata("pool_peak_queue_depth",
+                             std::to_string(pool_stats_.peak_queue_depth));
+        channel.set_metadata("sandbox_degraded", degraded_ ? "true" : "false");
+      }
     }
     // Memory-subsystem summary: how much memory the sweep reserved and how
     // well setup amortized across cells (process-wide, same in every slice).
@@ -888,6 +925,430 @@ void Executor::run_sandboxed(const std::vector<Cell>& cells,
       }
       work = std::move(requeue);
     }
+  }
+}
+
+std::string Executor::worker_run_cell(const std::string& payload) {
+  const json::Value v = json::Value::parse(payload);
+  const std::string kname = v.at("kernel").as_string();
+  // The job carries the parent's injector state as of dispatch time, so a
+  // retried cell sees spent budgets instead of re-firing the fault that
+  // killed its first worker.
+  faults::injector().deserialize_state(v.string_or("injector", ""));
+
+  // Wire fault: go silent. The heartbeat thread stops beating and the job
+  // never completes — from the supervisor's seat, a wedged worker.
+  if (faults::injector().fire_wire_fault(faults::FaultKind::HeartbeatDrop,
+                                         kname)) {
+    sandbox::WorkerPool::suppress_heartbeats();
+    for (int i = 0; i < 6000; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::_Exit(1);  // safety valve; the supervisor kills us long before
+  }
+
+  RunResult r;
+  r.kernel = kname;
+  r.variant = variant_from_string(v.at("variant").as_string());
+  r.tuning = static_cast<std::size_t>(v.number_or("tuning_index", 0.0));
+  r.tuning_name = v.string_or("tuning", "default");
+
+  json::Object o;
+  KernelBase* kernel = find_kernel(kname);
+  if (kernel == nullptr) {
+    r.status = RunStatus::Failed;
+    r.error = "unknown kernel in job payload: " + kname;
+  } else {
+    const Cell cell{kernel, r.variant, r.tuning, r.tuning_name};
+    cali::Channel scratch;
+    {
+      cali::TraceSpan cell_span(
+          cell_span_name(r.kernel, r.variant, r.tuning_name));
+      r.status = run_cell_once(cell, scratch, r);
+    }
+    sample_trace_counters();
+    if (r.status == RunStatus::Passed) {
+      o["profile"] = cali::profile_to_value(cali::to_profile(scratch));
+    }
+  }
+
+  o["status"] = to_string(r.status);
+  o["time_per_rep_sec"] = r.time_per_rep_sec;
+  o["checksum"] = static_cast<double>(r.checksum);
+  o["checksum_hex"] = sandbox::checksum_to_hex(r.checksum);
+  o["problem_size"] = static_cast<std::int64_t>(r.problem_size);
+  o["reps"] = static_cast<std::int64_t>(r.reps);
+  o["setup_ms"] = r.setup_ms;
+  o["checksum_ms"] = r.checksum_ms;
+  o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
+  o["cache_hits"] = static_cast<std::int64_t>(r.cache_hits);
+  if (!r.error.empty()) o["error"] = r.error;
+  // Post-job injector state rides back on every result so the parent's
+  // fault schedule stays worker-count invariant (same fold as v1 "bye",
+  // but per job since this worker may die before any orderly goodbye).
+  o["injector"] = faults::injector().serialize_state();
+
+  // Wire fault: torn result. The frame goes out with a bad CRC; the
+  // supervisor must reject it and recycle this worker rather than
+  // mis-parse the record.
+  if (faults::injector().fire_wire_fault(faults::FaultKind::ProtocolCorrupt,
+                                         kname)) {
+    sandbox::WorkerPool::corrupt_next_frame();
+  }
+  return json::Value(std::move(o)).dump();
+}
+
+void Executor::run_pooled(const std::vector<Cell>& cells,
+                          const std::map<std::string, RunResult>& prior) {
+  // Pooled dispatch is always per-cell: one job per (kernel, variant,
+  // tuning), pulled by the supervisor as queue room opens up.
+  struct PooledJob {
+    const Cell* cell = nullptr;
+    RunResult r;
+    int attempts = 0;  // executions consumed (parent-authoritative)
+    bool done = false;
+  };
+
+  bool stopped = false;
+  auto finalize = [&](RunResult& r) {
+    sample_trace_counters();
+    results_.push_back(r);
+    append_progress(r);
+    if (r.status != RunStatus::Passed && r.status != RunStatus::Skipped &&
+        !params_.keep_going) {
+      stopped = true;
+    }
+  };
+  auto append_crash_line = [&](json::Object o) {
+    const std::string path = crashes_path();
+    if (path.empty()) return;
+    o["t_ms"] = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - run_start_)
+                    .count();
+    std::ofstream os(path, std::ios::app);
+    if (!os) return;  // forensics are best-effort; the sweep continues
+    std::string line = json::Value(std::move(o)).dump();
+    line.push_back('\n');
+    os.write(line.data(), static_cast<std::streamsize>(line.size()));
+  };
+
+  // Resolve restores, quarantine, and interrupt skips up front; what
+  // remains becomes the pool's job list.
+  std::vector<PooledJob> jobs;
+  for (const Cell& cell : cells) {
+    RunResult r;
+    r.kernel = cell.kernel->name();
+    r.group = cell.kernel->group();
+    r.variant = cell.vid;
+    r.tuning = cell.tuning;
+    r.tuning_name = cell.tuning_name;
+
+    if (const int isig = sandbox::interrupt_signal(); isig != 0) {
+      r.status = RunStatus::Skipped;
+      r.error = "interrupted by " + sandbox::signal_name(isig) +
+                "; checkpoint flushed";
+      finalize(r);
+      continue;
+    }
+    const std::string key = cell_key(r.kernel, r.variant, r.tuning_name);
+    const auto it = prior.find(key);
+    if (it != prior.end() && it->second.status == RunStatus::Passed) {
+      r = it->second;
+      r.group = cell.kernel->group();
+      r.tuning = cell.tuning;
+      r.restored = true;
+      cell.kernel->restore_result(cell.vid, cell.tuning, r.time_per_rep_sec,
+                                  r.checksum);
+      finalize(r);
+      continue;
+    }
+    const auto qc = crash_counts_.find(key);
+    if (qc != crash_counts_.end() && qc->second >= params_.quarantine_after) {
+      r.status = RunStatus::Skipped;
+      r.error = "quarantined after " + std::to_string(qc->second) +
+                " crashes; see crashes.jsonl";
+      json::Object o;
+      o["kind"] = "quarantine-skip";
+      o["kernel"] = r.kernel;
+      o["variant"] = to_string(r.variant);
+      o["tuning"] = r.tuning_name;
+      o["crashes"] = qc->second;
+      append_crash_line(std::move(o));
+      finalize(r);
+      continue;
+    }
+    PooledJob p;
+    p.cell = &cell;
+    p.r = std::move(r);
+    jobs.push_back(std::move(p));
+  }
+
+  sandbox::PoolClient client;
+  client.on_worker_start = [] {
+    cali::TraceSink& sink = cali::TraceSink::instance();
+    if (sink.enabled()) sink.rezero_after_fork("rperf-pool-worker");
+  };
+  client.run_job = [this](const std::string& payload) {
+    return worker_run_cell(payload);
+  };
+  client.final_payload = [] {
+    cali::TraceSink& sink = cali::TraceSink::instance();
+    if (!sink.enabled()) return std::string();
+    json::Object o;
+    o["trace"] = sink.flush().to_value();
+    return json::Value(std::move(o)).dump();
+  };
+  client.on_final = [this](const std::string& payload) {
+    if (payload.empty()) return;
+    try {
+      const json::Value v = json::Value::parse(payload);
+      if (v.contains("trace")) {
+        worker_traces_.push_back(cali::TraceData::from_value(v.at("trace")));
+      }
+    } catch (const std::exception&) {
+      // Malformed chunk: the timeline loses one worker's spans; the
+      // sweep's results are unaffected.
+    }
+  };
+  client.before_dispatch = [&](sandbox::Job& job) {
+    const PooledJob& p = jobs[job.id];
+    json::Object o;
+    o["kernel"] = p.r.kernel;
+    o["variant"] = to_string(p.r.variant);
+    o["tuning_index"] = static_cast<std::int64_t>(p.cell->tuning);
+    o["tuning"] = p.r.tuning_name;
+    // Current state, captured at dispatch — not enqueue — time, so a retry
+    // after a fatal fire carries the decremented budget.
+    o["injector"] = faults::injector().serialize_state();
+    job.payload = json::Value(std::move(o)).dump();
+  };
+  client.on_result = [&](const sandbox::Job& job,
+                         const std::string& result) -> sandbox::Disposition {
+    PooledJob& p = jobs[job.id];
+    ++p.attempts;
+    p.r.attempts = p.attempts;
+    try {
+      const json::Value v = json::Value::parse(result);
+      decode_cell_record(v, p.r);
+      faults::injector().deserialize_state(v.string_or("injector", ""));
+      if (p.r.status == RunStatus::Passed) {
+        if (v.contains("profile")) {
+          const cali::Channel scratch = cali::channel_from_profile(
+              cali::profile_from_value(v.at("profile")));
+          channels_[{p.cell->vid, p.cell->tuning_name}].merge(scratch);
+        }
+        p.cell->kernel->restore_result(p.cell->vid, p.cell->tuning,
+                                       p.r.time_per_rep_sec, p.r.checksum);
+      }
+    } catch (const std::exception& e) {
+      p.r.status = RunStatus::Crashed;
+      p.r.error = std::string("malformed worker record: ") + e.what();
+    }
+    if ((p.r.status == RunStatus::Failed ||
+         p.r.status == RunStatus::ChecksumInvalid) &&
+        p.attempts <= params_.retries && !stopped) {
+      if (params_.retry_backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            params_.retry_backoff_ms << (p.attempts - 1)));
+      }
+      return sandbox::Disposition::Retry;
+    }
+    finalize(p.r);
+    p.done = true;
+    return stopped ? sandbox::Disposition::Abort : sandbox::Disposition::Done;
+  };
+  client.on_failure = [&](const sandbox::Job& job,
+                          const sandbox::JobFailure& f)
+      -> sandbox::Disposition {
+    PooledJob& p = jobs[job.id];
+    ++p.attempts;
+    p.r.attempts = p.attempts;
+    switch (f.reason) {
+      case sandbox::FailReason::DeadlineKilled:
+        p.r.status = RunStatus::Killed;
+        p.r.error = "worker killed past the per-cell wall deadline";
+        break;
+      case sandbox::FailReason::HeartbeatTimeout:
+      case sandbox::FailReason::ProtocolCorrupt:
+        p.r.status = RunStatus::Crashed;
+        p.r.error = f.describe();
+        break;
+      case sandbox::FailReason::WorkerDied: {
+        // Reuse the fork-per-batch classifier by reconstructing its report.
+        sandbox::WorkerReport rep;
+        if (f.exited) {
+          rep.exit_code = f.exit_code;
+          rep.exit = f.exit_code == sandbox::kOomExitCode
+                         ? sandbox::WorkerExit::OomExit
+                         : f.exit_code == 0 ? sandbox::WorkerExit::CleanExit
+                                            : sandbox::WorkerExit::NonzeroExit;
+        } else {
+          rep.exit = sandbox::WorkerExit::Signaled;
+          rep.signal = f.signal;
+        }
+        rep.usage = f.usage;
+        rep.stderr_tail = f.stderr_tail;
+        decode_worker_failure(rep, params_.sandbox_mem_mb, p.r);
+        break;
+      }
+    }
+
+    const std::string key = cell_key(p.r.kernel, p.r.variant, p.r.tuning_name);
+    const int crashes = ++crash_counts_[key];
+    const bool quarantined = crashes >= params_.quarantine_after;
+
+    json::Object o;
+    o["kind"] = "crash";
+    o["kernel"] = p.r.kernel;
+    o["variant"] = to_string(p.r.variant);
+    o["tuning"] = p.r.tuning_name;
+    o["status"] = to_string(p.r.status);
+    o["reason"] = sandbox::to_string(f.reason);
+    o["crashes"] = crashes;
+    o["attempts"] = p.attempts;
+    o["exit_code"] = f.exit_code;
+    o["deadline_killed"] = f.reason == sandbox::FailReason::DeadlineKilled;
+    if (!f.exited && f.signal != 0) {
+      o["signal"] = f.signal;
+      o["signal_name"] = sandbox::signal_name(f.signal);
+    }
+    o["error"] = p.r.error;
+    if (!f.stderr_tail.empty()) o["stderr_tail"] = f.stderr_tail;
+    o["max_rss_kb"] = static_cast<std::int64_t>(f.usage.max_rss_kb);
+    o["user_sec"] = f.usage.user_sec;
+    o["sys_sec"] = f.usage.sys_sec;
+    o["quarantined"] = quarantined;
+    append_crash_line(std::move(o));
+
+    // The worker died before reporting, so its injector state is lost;
+    // consume the budget the fatal fault definitionally spent. The wire
+    // kinds imply themselves; process deaths imply segv/abort/oom/hang.
+    if (faults::injector().active()) {
+      if (f.reason == sandbox::FailReason::HeartbeatTimeout) {
+        faults::injector().note_external_fire(faults::FaultKind::HeartbeatDrop,
+                                              p.r.kernel);
+      } else if (f.reason == sandbox::FailReason::ProtocolCorrupt) {
+        faults::injector().note_external_fire(
+            faults::FaultKind::ProtocolCorrupt, p.r.kernel);
+      } else if (const auto kind = implied_fault_kind(p.r, f.signal)) {
+        faults::injector().note_external_fire(*kind, p.r.kernel);
+      }
+    }
+
+    const bool retryable = p.r.status == RunStatus::Crashed ||
+                           p.r.status == RunStatus::OutOfMemory;
+    if (retryable && !quarantined && p.attempts <= params_.retries &&
+        !stopped) {
+      if (params_.retry_backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            params_.retry_backoff_ms << (p.attempts - 1)));
+      }
+      return sandbox::Disposition::Retry;
+    }
+    finalize(p.r);
+    p.done = true;
+    return stopped ? sandbox::Disposition::Abort : sandbox::Disposition::Done;
+  };
+
+  sandbox::PoolConfig cfg;
+  cfg.workers = params_.workers;
+  cfg.heartbeat_interval_ms = params_.heartbeat_interval_ms;
+  cfg.heartbeat_timeout_ms = params_.heartbeat_timeout_ms;
+  cfg.job_deadline_sec = params_.max_cell_seconds;
+  cfg.limits.address_space_bytes = params_.sandbox_mem_mb << 20;
+  // cfg.limits.cpu_seconds stays 0: RLIMIT_CPU accrues across a pooled
+  // worker's whole life and would misfire mid-sweep (see PoolConfig).
+
+  std::size_t next = 0;
+  const auto source = [&]() -> std::optional<sandbox::Job> {
+    if (stopped) return std::nullopt;
+    if (next >= jobs.size()) return std::nullopt;
+    sandbox::Job job;
+    job.id = next++;
+    return job;  // payload is filled by before_dispatch
+  };
+
+  sandbox::PoolOutcome outcome = sandbox::PoolOutcome::Completed;
+  sandbox::WorkerPool pool(cfg, client);
+  if (!jobs.empty()) {
+    cali::TraceSpan pool_span("worker-pool");
+    outcome = pool.run(source);
+  }
+  pool_stats_ = pool.stats();
+  sandbox_stats_.children = pool_stats_.spawns;
+  sandbox_stats_.peak_rss_kb = pool_stats_.peak_rss_kb;
+  sandbox_stats_.user_sec = pool_stats_.child_user_sec;
+  sandbox_stats_.sys_sec = pool_stats_.child_sys_sec;
+#ifdef RPERF_SANDBOX_DIAG
+  std::fprintf(stderr,
+               "[sandbox] pool done: spawns=%zu recycles=%zu hb_timeouts=%zu "
+               "deadline_kills=%zu corrupt=%zu jobs=%zu/%zu\n",
+               pool_stats_.spawns, pool_stats_.recycles,
+               pool_stats_.heartbeat_timeouts, pool_stats_.deadline_kills,
+               pool_stats_.corrupt_frames, pool_stats_.jobs_completed,
+               pool_stats_.jobs_dispatched);
+#endif
+
+  if (outcome == sandbox::PoolOutcome::SpawnFailed && !stopped &&
+      sandbox::interrupt_signal() == 0) {
+    // Graceful degradation: the pool could not keep a single worker alive
+    // (fork failure, respawn budgets exhausted). Finish the sweep
+    // in-process rather than losing it. Safe with respect to the OpenMP
+    // fork caveat — no parallel region has run in this process yet, and no
+    // further forks follow. Crash containment is lost, and the run says
+    // so: the "sandbox_degraded" metadata flag and each cell's record.
+    degraded_ = true;
+    std::cerr << "warning: worker pool unavailable ("
+              << pool_stats_.spawn_failures
+              << " spawn failures); degrading to in-process execution — "
+                 "crash containment disabled for the rest of this sweep\n";
+    for (PooledJob& p : jobs) {
+      if (p.done) continue;
+      if (stopped || sandbox::interrupt_signal() != 0) break;
+      for (; p.attempts <= params_.retries; ) {
+        if (p.attempts > 0 && params_.retry_backoff_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              params_.retry_backoff_ms << (p.attempts - 1)));
+        }
+        cali::Channel scratch;
+        p.r.attempts = ++p.attempts;
+        {
+          cali::TraceSpan cell_span(
+              cell_span_name(p.r.kernel, p.cell->vid, p.cell->tuning_name));
+          p.r.status = run_cell_once(*p.cell, scratch, p.r);
+        }
+        if (p.r.status == RunStatus::Passed) {
+          channels_[{p.cell->vid, p.cell->tuning_name}].merge(scratch);
+          break;
+        }
+        if (p.r.status == RunStatus::TimedOut) break;
+        if (p.r.status != RunStatus::Failed &&
+            p.r.status != RunStatus::ChecksumInvalid) {
+          break;
+        }
+      }
+      finalize(p.r);
+      p.done = true;
+    }
+  }
+
+  // Anything still unresolved (interrupt, --no-keep-going abort, pool
+  // failure mid-degradation) is recorded as skipped so every planned cell
+  // has a terminal record.
+  const int isig = sandbox::interrupt_signal();
+  for (PooledJob& p : jobs) {
+    if (p.done) continue;
+    p.r.status = RunStatus::Skipped;
+    if (stopped) {
+      p.r.error = "sweep stopped by --no-keep-going after an earlier failure";
+    } else if (isig != 0) {
+      p.r.error = "interrupted by " + sandbox::signal_name(isig) +
+                  "; checkpoint flushed";
+    } else {
+      p.r.error = "not executed: worker pool unavailable";
+    }
+    finalize(p.r);
+    p.done = true;
   }
 }
 

@@ -45,6 +45,7 @@
 #include "instrument/channel.hpp"
 #include "instrument/profile.hpp"
 #include "instrument/trace_sink.hpp"
+#include "sandbox/pool.hpp"
 #include "suite/kernel_base.hpp"
 #include "suite/registry.hpp"
 #include "suite/run_params.hpp"
@@ -133,6 +134,16 @@ class Executor {
     return worker_traces_.size();
   }
 
+  // ----- worker pool (RunParams::workers > 0) -----
+  /// Supervisor statistics of the last pooled run (zeroed otherwise).
+  [[nodiscard]] const sandbox::PoolStats& pool_stats() const {
+    return pool_stats_;
+  }
+  /// True when the pool could not keep any worker alive and the run fell
+  /// back to in-process execution (also recorded as the
+  /// "sandbox_degraded" profile metadata flag).
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
  private:
   struct Cell {
     KernelBase* kernel = nullptr;
@@ -160,6 +171,14 @@ class Executor {
   /// The sandboxed path: cells run in forked workers (isolate=kernel|cell).
   void run_sandboxed(const std::vector<Cell>& cells,
                      const std::map<std::string, RunResult>& prior);
+  /// The pooled path (RunParams::workers > 0): cells are dispatched as a
+  /// work queue to N persistent supervised workers (sandbox::WorkerPool);
+  /// falls back to in-process execution when no worker can be spawned.
+  void run_pooled(const std::vector<Cell>& cells,
+                  const std::map<std::string, RunResult>& prior);
+  /// Body executed inside a pooled worker for one job payload; returns
+  /// the result payload (the v1 "cell" record plus injector state).
+  std::string worker_run_cell(const std::string& payload);
   /// Body executed inside a forked worker: stream hello / per-cell records /
   /// bye over `fd` for every cell in `batch` (sandbox/protocol.hpp).
   void worker_main(int fd, const std::vector<const Cell*>& batch);
@@ -177,6 +196,8 @@ class Executor {
   std::vector<RunResult> results_;
   std::map<std::string, int> crash_counts_;
   SandboxStats sandbox_stats_;
+  sandbox::PoolStats pool_stats_;
+  bool degraded_ = false;
 
   /// Sweep epoch for the monotonic t_ms stamped on progress/crash records.
   std::chrono::steady_clock::time_point run_start_ =

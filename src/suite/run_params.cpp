@@ -120,6 +120,15 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
     } else if (arg == "--sandbox-cpu-seconds") {
       p.sandbox_cpu_seconds = std::stod(need_value(i, arg));
       ++i;
+    } else if (arg == "--workers") {
+      p.workers = std::stoi(need_value(i, arg));
+      ++i;
+    } else if (arg == "--heartbeat-interval-ms") {
+      p.heartbeat_interval_ms = std::stoi(need_value(i, arg));
+      ++i;
+    } else if (arg == "--heartbeat-timeout-ms") {
+      p.heartbeat_timeout_ms = std::stoi(need_value(i, arg));
+      ++i;
     } else {
       throw std::invalid_argument("unknown argument: " + arg);
     }
@@ -134,6 +143,16 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
   }
   if (p.quarantine_after < 1) {
     throw std::invalid_argument("--quarantine-after must be >= 1");
+  }
+  if (p.workers < 0) throw std::invalid_argument("--workers must be >= 0");
+  if (p.heartbeat_interval_ms < 1 || p.heartbeat_timeout_ms < 1) {
+    throw std::invalid_argument(
+        "--heartbeat-interval-ms/--heartbeat-timeout-ms must be >= 1");
+  }
+  // Asking for a worker pool is asking for isolation: imply cell mode so
+  // "--workers 4" alone does the expected thing.
+  if (p.workers > 0 && p.isolate == IsolationMode::None) {
+    p.isolate = IsolationMode::Cell;
   }
   // Validate the fault grammar eagerly so a typo fails at parse time, not
   // mid-sweep.
@@ -174,7 +193,14 @@ std::string RunParams::usage() {
          "  --max-cell-seconds S  per-cell wall deadline for workers\n"
          "                    (SIGTERM, then SIGKILL after a grace period)\n"
          "  --sandbox-mem-mb N    RLIMIT_AS for workers, in MiB\n"
-         "  --sandbox-cpu-seconds S  RLIMIT_CPU for workers\n";
+         "  --sandbox-cpu-seconds S  RLIMIT_CPU for workers\n"
+         "  --workers N       dispatch isolated cells to N persistent,\n"
+         "                    supervised sandbox workers (heartbeats,\n"
+         "                    crash recycling, central deadlines); implies\n"
+         "                    --isolate cell; 0 = fork-per-cell (default)\n"
+         "  --heartbeat-interval-ms N  pooled worker beat period\n"
+         "  --heartbeat-timeout-ms N   recycle a pooled worker silent for\n"
+         "                    this long (default 2000)\n";
 }
 
 }  // namespace rperf::suite

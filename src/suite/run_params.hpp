@@ -83,8 +83,24 @@ struct RunParams {
   double max_cell_seconds = 0.0;
   /// RLIMIT_AS for workers, in MiB; 0 = inherit the parent's limit.
   std::size_t sandbox_mem_mb = 0;
-  /// RLIMIT_CPU for workers, in seconds; <= 0 = inherit.
+  /// RLIMIT_CPU for workers, in seconds; <= 0 = inherit. Applies to the
+  /// disposable (fork-per-cell) workers only: a pooled worker's CPU time
+  /// accrues across cells, so the pool relies on wall deadlines instead.
   double sandbox_cpu_seconds = 0.0;
+
+  // ----- persistent worker pool (rperf::sandbox::WorkerPool) -----
+  /// Number of persistent sandbox workers; 0 (the default) keeps the
+  /// disposable fork-per-batch path. With N >= 1, isolated cells are
+  /// dispatched as a work queue to N supervised long-lived workers
+  /// (heartbeats, crash recycling, central deadlines, backpressure).
+  /// --workers with --isolate none implies --isolate cell, and pooled
+  /// dispatch is always per-cell regardless of kernel/cell granularity.
+  int workers = 0;
+  /// Worker heartbeat period (worker-side) in milliseconds.
+  int heartbeat_interval_ms = 100;
+  /// Supervisor-side silence budget: a worker that produces no frame for
+  /// this long is killed and recycled; its cell is retried elsewhere.
+  int heartbeat_timeout_ms = 2000;
 
   [[nodiscard]] bool wants_kernel(const std::string& name) const {
     if (kernel_filter.empty()) return true;

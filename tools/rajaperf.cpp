@@ -156,6 +156,23 @@ int main(int argc, char** argv) {
                   static_cast<double>(cs.stored_bytes) / (1024.0 * 1024.0));
     }
 
+    // Worker-pool supervision summary (--workers): what keeping the sweep
+    // alive cost in respawned and recycled workers.
+    if (params.workers > 0) {
+      const auto& ws = exec.pool_stats();
+      std::printf("workers: %d pooled, %zu spawned, %zu recycled "
+                  "(%zu heartbeat timeouts, %zu deadline kills, "
+                  "%zu corrupt frames), peak queue %zu\n",
+                  params.workers, ws.spawns, ws.recycles,
+                  ws.heartbeat_timeouts, ws.deadline_kills, ws.corrupt_frames,
+                  ws.peak_queue_depth);
+      if (exec.degraded()) {
+        std::printf("WARNING: pool unavailable (%zu spawn failures); "
+                    "sweep degraded to in-process execution\n",
+                    ws.spawn_failures);
+      }
+    }
+
     std::string details;
     if (!exec.checksums_consistent(&details)) {
       std::fprintf(stderr, "CHECKSUM MISMATCH:\n%s", details.c_str());

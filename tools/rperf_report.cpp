@@ -59,13 +59,20 @@ bool print_crash_summary(const std::string& dir) {
   std::map<std::string, CellCrashes> cells;
   std::ifstream is(path);
   std::string line;
+  int line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     json::Value v;
     try {
       v = json::Value::parse(line);
     } catch (const json::JsonError&) {
-      continue;  // torn final line
+      // Torn record from a run that died mid-append. Drop it, but say so:
+      // the summary under-counts that cell's crashes.
+      std::fprintf(stderr,
+                   "warning: %s:%d: dropping truncated crash record\n",
+                   path.c_str(), line_no);
+      continue;
     }
     const std::string kind = v.string_or("kind", "crash");
     const std::string cell = v.string_or("kernel", "?") + " [" +
@@ -252,6 +259,29 @@ int main(int argc, char** argv) {
                   get("pool_high_water_bytes") / (1024.0 * 1024.0), allocs,
                   allocs > 0.0 ? hits / allocs * 100.0 : 0.0,
                   get("cache_hits"), get("cache_misses"));
+      break;
+    }
+    // Worker-pool supervision summary (--workers runs): recycles and their
+    // causes, so a report shows what crash containment cost the sweep.
+    for (std::size_t i = 0; i < tk.num_profiles(); ++i) {
+      const auto& md = tk.metadata(i);
+      const auto workers = md.find("pool_workers");
+      if (workers == md.end()) continue;
+      auto get = [&md](const char* key) {
+        const auto it = md.find(key);
+        return it == md.end() ? 0.0 : std::stod(it->second);
+      };
+      const auto degraded = md.find("sandbox_degraded");
+      std::printf("workers: %s pooled, %.0f spawned, %.0f recycled "
+                  "(%.0f heartbeat timeouts, %.0f deadline kills, "
+                  "%.0f corrupt frames), peak queue %.0f%s\n",
+                  workers->second.c_str(), get("pool_spawns"),
+                  get("pool_recycles"), get("pool_heartbeat_timeouts"),
+                  get("pool_deadline_kills"), get("pool_corrupt_frames"),
+                  get("pool_peak_queue_depth"),
+                  degraded != md.end() && degraded->second == "true"
+                      ? " [DEGRADED to in-process]"
+                      : "");
       break;
     }
     // Crashes are part of the run's story: surface them and flag the exit
