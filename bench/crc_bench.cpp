@@ -1,0 +1,77 @@
+// Micro-benchmark for the v2/v3 frame checksum: slice-by-8 CRC-32
+// (sandbox::crc32, the production path) against the byte-at-a-time
+// reference (sandbox::crc32_bytewise) over a 1 MiB buffer — the framing
+// cost every pooled result payload used to pay per byte.
+//
+// Prints both throughputs and the speedup, and exits nonzero if the two
+// implementations disagree or slice-by-8 fails to beat the reference by
+// at least 1.2x (a deliberately loose floor: the win is typically 3-5x,
+// but this also runs on loaded single-core CI machines).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sandbox/protocol.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double bench(std::uint32_t (*fn)(const void*, std::size_t),
+             const std::string& buf, int reps, std::uint32_t* out) {
+  // One warm-up pass populates the tables and the cache.
+  std::uint32_t acc = fn(buf.data(), buf.size());
+  const auto start = Clock::now();
+  for (int i = 0; i < reps; ++i) {
+    acc ^= fn(buf.data(), buf.size());
+  }
+  const double sec = std::chrono::duration<double>(Clock::now() - start).count();
+  *out = acc;
+  return sec;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kBytes = 1u << 20;  // 1 MiB
+  constexpr int kReps = 64;
+  std::string buf(kBytes, '\0');
+  std::uint64_t seed = 0x243F6A8885A308D3ull;  // deterministic fill
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    buf[i] = static_cast<char>(seed >> 56);
+  }
+
+  if (rperf::sandbox::crc32(buf.data(), buf.size()) !=
+      rperf::sandbox::crc32_bytewise(buf.data(), buf.size())) {
+    std::fprintf(stderr, "FAIL: slice-by-8 disagrees with the reference\n");
+    return 1;
+  }
+
+  std::uint32_t acc8 = 0;
+  std::uint32_t acc1 = 0;
+  const double slice8_sec =
+      bench(&rperf::sandbox::crc32, buf, kReps, &acc8);
+  const double bytewise_sec =
+      bench(&rperf::sandbox::crc32_bytewise, buf, kReps, &acc1);
+  if (acc8 != acc1) {
+    std::fprintf(stderr, "FAIL: accumulated checksums diverged\n");
+    return 1;
+  }
+
+  const double mib = static_cast<double>(kReps);
+  const double speedup = bytewise_sec / slice8_sec;
+  std::printf("crc32 over %d x 1 MiB:\n", kReps);
+  std::printf("  slice-by-8: %8.2f MiB/s (%.4f s)\n", mib / slice8_sec,
+              slice8_sec);
+  std::printf("  bytewise:   %8.2f MiB/s (%.4f s)\n", mib / bytewise_sec,
+              bytewise_sec);
+  std::printf("  speedup:    %.2fx\n", speedup);
+  if (speedup < 1.2) {
+    std::fprintf(stderr, "FAIL: slice-by-8 speedup %.2fx below the 1.2x "
+                         "floor\n", speedup);
+    return 1;
+  }
+  return 0;
+}

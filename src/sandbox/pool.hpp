@@ -27,7 +27,13 @@
 //   * if no worker can ever be spawned (fork failure, respawn budget
 //     exhausted with work remaining) run() returns SpawnFailed and the
 //     caller degrades — e.g. to in-process execution — instead of
-//     aborting the sweep.
+//     aborting the sweep;
+//   * result and final payloads travel over a per-worker shared-memory
+//     ring by default (protocol v3, sandbox/ring.hpp): the worker
+//     publishes sequence-stamped chunks and announces them with a small
+//     descriptor frame, the supervisor drains rings from its poll loop
+//     via an eventfd doorbell, and a slot whose ring cannot be created
+//     falls back to inline v2 JSON-in-frame payloads transparently.
 //
 // Workers are created by fork WITHOUT exec, inheriting the parent's warm
 // state; the same OpenMP caveat as run_worker applies (the parent must
@@ -80,6 +86,12 @@ struct JobFailure {
 struct Job {
   std::uint64_t id = 0;
   std::string payload;
+  /// Dispatch-affinity key (0 = none). Jobs sharing a nonzero key prefer
+  /// the worker that last ran that key, and a key "claimed" by a live
+  /// worker is not spread across others while that worker can take it —
+  /// so per-key warm state (dataset caches, allocator arenas) is built
+  /// once per pool instead of once per worker.
+  std::uint64_t affinity = 0;
 };
 
 /// Client verdict after a result or failure is delivered.
@@ -88,6 +100,13 @@ enum class Disposition {
   Retry,  ///< requeue at the front, run on a (fresh) worker
   Abort,  ///< stop dispatching queued work; finish in-flight jobs, drain
 };
+
+/// How bulky worker->supervisor payloads travel (protocol.hpp: v3 vs v2).
+enum class Transport {
+  Shm,   ///< per-worker shared-memory ring + descriptor frames (v3)
+  Json,  ///< payloads inline in CRC-framed pipe records (v2)
+};
+[[nodiscard]] std::string to_string(Transport t);
 
 struct PoolConfig {
   int workers = 2;
@@ -106,6 +125,19 @@ struct PoolConfig {
                                      ///< long-lived worker regardless of
                                      ///< per-job behaviour; wall deadlines
                                      ///< cover hangs instead.
+  /// Cap on jobs executing concurrently across the pool; 0 = workers
+  /// (uncapped). Callers set this to the machine's hardware concurrency
+  /// so measured kernel loops never oversubscribe physical cores: surplus
+  /// workers stay resident as warm dataset-cache partitions (see
+  /// Job::affinity) and crash-containment spares, but only max_inflight
+  /// of them run a job at any instant.
+  std::size_t max_inflight = 0;
+  /// Result/final payload transport. Shm falls back to Json per worker
+  /// when ring setup fails (counted in PoolStats::ring_fallbacks).
+  Transport transport = Transport::Shm;
+  /// Per-worker ring capacity in bytes (power of two, >= 4096). Larger
+  /// payloads stream through in chunks; see sandbox/ring.hpp.
+  std::size_t ring_bytes = 1u << 20;
 };
 
 struct PoolStats {
@@ -120,6 +152,11 @@ struct PoolStats {
   std::size_t jobs_completed = 0;    ///< result frames accepted
   std::size_t jobs_failed = 0;       ///< failures handed to the client
   std::size_t peak_queue_depth = 0;  ///< high water of the pending queue
+  std::size_t affinity_hits = 0;     ///< dispatches to the job's warm worker
+  std::size_t shm_spawns = 0;        ///< spawns that got a shm ring
+  std::size_t ring_fallbacks = 0;    ///< spawns degraded to Json transport
+  std::uint64_t ring_messages = 0;   ///< payloads delivered over rings
+  std::uint64_t ring_payload_bytes = 0;
   long peak_rss_kb = 0;              ///< max over reaped workers
   double child_user_sec = 0.0;       ///< summed over reaped workers
   double child_sys_sec = 0.0;
@@ -176,9 +213,15 @@ class WorkerPool {
   /// Stop the calling worker's heartbeat thread from beating. Models a
   /// live-but-silent worker; the supervisor must notice via timeout.
   static void suppress_heartbeats();
-  /// Corrupt the CRC of the calling worker's next result frame. Models a
-  /// torn write; the supervisor must detect it and recycle the worker.
+  /// Corrupt the calling worker's next result: under the Json transport
+  /// the frame CRC is flipped; under Shm the next ring chunk's sequence
+  /// stamp is mangled (a simulated torn write). Either way the supervisor
+  /// must detect it and recycle the worker instead of mis-parsing.
   static void corrupt_next_frame();
+  /// Transport the calling worker actually uses (Json when ring setup
+  /// fell back, or in the parent process). Lets the worker-side client
+  /// pick the matching payload encoding.
+  [[nodiscard]] static Transport current_transport();
 
  private:
   PoolConfig cfg_;

@@ -32,6 +32,16 @@
 // pool's own control/liveness types ("job", "result", "hb", "drain",
 // "final"); see sandbox/pool.hpp. Bump the matching version constant
 // whenever a record's schema changes incompatibly.
+//
+// v3 (shm transport, the default): the framed pipe shrinks to a control
+// plane — hello/job/hb/drain plus result/final *descriptors* — while the
+// bulky payloads (binary wire-encoded cell results, profiles, trace
+// chunks; see sandbox/wire.hpp) travel over a per-worker shared-memory
+// ring (sandbox/ring.hpp) whose sequence-stamped chunks provide the
+// integrity check CRC provided for in-band payloads. When ring setup
+// fails the pool degrades per-slot to the v2 inline-JSON transport; the
+// two coexist on one pool, distinguished by descriptor vs. inline
+// records and by the payload's leading byte.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +58,10 @@ inline constexpr int kProtocolVersion = 1;
 /// Version of the v2 (framed) pool protocol carried in "hello" frames.
 inline constexpr int kProtocolVersionFramed = 2;
 
+/// Version of the v3 pool protocol (control-plane frames + shm-ring data
+/// plane, binary wire payloads) carried in "hello" frames.
+inline constexpr int kProtocolVersionShm = 3;
+
 /// Exit code a worker uses for "memory exhausted": either the injector's
 /// oom fault hit its allocation cap, or std::bad_alloc escaped the cell
 /// runner (e.g. RLIMIT_AS). Chosen outside the 0-63 range tools use.
@@ -62,24 +76,72 @@ inline constexpr std::uint32_t kFrameMagic = 0x32465052u;
 /// a length beyond this is corruption, not data.
 inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 
-/// CRC-32 (IEEE 802.3, reflected) of `data`. Table built on first use.
-[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n) {
-  static const auto table = [] {
-    struct Table { std::uint32_t t[256]; };
-    Table tb{};
+namespace detail {
+/// Slice-by-8 CRC-32 tables: t[0] is the classic byte-at-a-time table,
+/// t[k] advances a byte through k additional zero bytes, so eight bytes
+/// fold per iteration with no inter-byte dependency chain.
+struct Crc32Tables {
+  std::uint32_t t[8][256];
+};
+[[nodiscard]] inline const Crc32Tables& crc32_tables() {
+  static const auto tables = [] {
+    Crc32Tables tb{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      tb.t[i] = c;
+      tb.t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = tb.t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        c = tb.t[0][c & 0xFFu] ^ (c >> 8);
+        tb.t[k][i] = c;
+      }
     }
     return tb;
   }();
+  return tables;
+}
+}  // namespace detail
+
+/// Reference byte-at-a-time CRC-32 (IEEE 802.3, reflected). Kept as the
+/// independent implementation the slice-by-8 path is verified and
+/// micro-benchmarked against (bench/crc_bench.cpp).
+[[nodiscard]] inline std::uint32_t crc32_bytewise(const void* data,
+                                                 std::size_t n) {
+  const auto& tb = detail::crc32_tables();
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = 0xFFFFFFFFu;
   for (std::size_t i = 0; i < n; ++i) {
-    c = table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = tb.t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`, slice-by-8: processes eight
+/// bytes per step through eight precomputed tables. Same polynomial and
+/// result as crc32_bytewise on every input.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n) {
+  const auto& tb = detail::crc32_tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);      // little-endian hosts only (as is the repo)
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = tb.t[7][lo & 0xFFu] ^ tb.t[6][(lo >> 8) & 0xFFu] ^
+        tb.t[5][(lo >> 16) & 0xFFu] ^ tb.t[4][lo >> 24] ^
+        tb.t[3][hi & 0xFFu] ^ tb.t[2][(hi >> 8) & 0xFFu] ^
+        tb.t[1][(hi >> 16) & 0xFFu] ^ tb.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -1,0 +1,244 @@
+#include "sandbox/ring.hpp"
+
+#include <fcntl.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#include <sys/syscall.h>
+#define RPERF_HAVE_EVENTFD 1
+#endif
+
+namespace rperf::sandbox {
+
+namespace {
+int g_fail_creates = 0;
+}  // namespace
+
+namespace ring_testing {
+void fail_next_creates(int n) { g_fail_creates = n; }
+}  // namespace ring_testing
+
+// ---------------------------------------------------------------- Doorbell
+
+std::unique_ptr<Doorbell> Doorbell::create() {
+#if RPERF_HAVE_EVENTFD
+  const int efd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (efd >= 0) {
+    return std::unique_ptr<Doorbell>(new Doorbell(efd, efd, true));
+  }
+#endif
+  int fds[2] = {-1, -1};
+  if (pipe(fds) != 0) return nullptr;
+  for (int fd : fds) {
+    fcntl(fd, F_SETFD, FD_CLOEXEC);
+    fcntl(fd, F_SETFL, O_NONBLOCK);
+  }
+  return std::unique_ptr<Doorbell>(new Doorbell(fds[0], fds[1], false));
+}
+
+Doorbell::~Doorbell() {
+  if (rfd_ >= 0) ::close(rfd_);
+  if (!is_eventfd_ && wfd_ >= 0) ::close(wfd_);
+}
+
+void Doorbell::ring() noexcept {
+  if (is_eventfd_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wfd_, &one, sizeof(one));
+  } else {
+    // EAGAIN (pipe full) is fine: a full pipe is already a pending wakeup.
+    const char b = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wfd_, &b, 1);
+  }
+}
+
+bool Doorbell::drain() noexcept {
+  bool any = false;
+  if (is_eventfd_) {
+    std::uint64_t v = 0;
+    any = ::read(rfd_, &v, sizeof(v)) == static_cast<ssize_t>(sizeof(v));
+  } else {
+    char buf[256];
+    ssize_t n = 0;
+    while ((n = ::read(rfd_, buf, sizeof(buf))) > 0) any = true;
+  }
+  return any;
+}
+
+// ----------------------------------------------------------------- ShmRing
+
+std::unique_ptr<ShmRing> ShmRing::create(std::size_t capacity) {
+  if (g_fail_creates > 0) {
+    --g_fail_creates;
+    return nullptr;
+  }
+  if (capacity < 4096 || (capacity & (capacity - 1)) != 0) return nullptr;
+
+  const std::size_t map_bytes = sizeof(Header) + capacity;
+  void* mem = MAP_FAILED;
+#if defined(__linux__) && defined(SYS_memfd_create)
+  const int mfd = static_cast<int>(
+      syscall(SYS_memfd_create, "rperf-ring", MFD_CLOEXEC));
+  if (mfd >= 0) {
+    if (ftruncate(mfd, static_cast<off_t>(map_bytes)) == 0) {
+      mem = mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                 mfd, 0);
+    }
+    ::close(mfd);  // the mapping keeps the memory alive
+  }
+#endif
+  if (mem == MAP_FAILED) {
+    mem = mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  }
+  if (mem == MAP_FAILED) return nullptr;
+  return std::unique_ptr<ShmRing>(new ShmRing(mem, capacity, map_bytes));
+}
+
+ShmRing::ShmRing(void* mem, std::size_t capacity, std::size_t map_bytes)
+    : hdr_(static_cast<Header*>(mem)),
+      data_(static_cast<unsigned char*>(mem) + sizeof(Header)),
+      capacity_(capacity),
+      map_bytes_(map_bytes) {
+  new (hdr_) Header{};
+  hdr_->capacity = capacity;
+}
+
+ShmRing::~ShmRing() {
+  if (hdr_ != nullptr) munmap(hdr_, map_bytes_);
+}
+
+void ShmRing::close() noexcept {
+  hdr_->closed.store(1, std::memory_order_release);
+}
+
+std::size_t ShmRing::readable() const noexcept {
+  return static_cast<std::size_t>(
+      hdr_->tail.load(std::memory_order_acquire) -
+      hdr_->head.load(std::memory_order_acquire));
+}
+
+void ShmRing::copy_in(std::uint64_t pos, const void* src,
+                      std::size_t n) noexcept {
+  const std::size_t off = static_cast<std::size_t>(pos) & (capacity_ - 1);
+  const std::size_t first = std::min(n, capacity_ - off);
+  std::memcpy(data_ + off, src, first);
+  if (first < n) {
+    std::memcpy(data_, static_cast<const unsigned char*>(src) + first,
+                n - first);
+  }
+}
+
+void ShmRing::copy_out(std::uint64_t pos, void* dst,
+                       std::size_t n) const noexcept {
+  const std::size_t off = static_cast<std::size_t>(pos) & (capacity_ - 1);
+  const std::size_t first = std::min(n, capacity_ - off);
+  std::memcpy(dst, data_ + off, first);
+  if (first < n) {
+    std::memcpy(static_cast<unsigned char*>(dst) + first, data_,
+                n - first);
+  }
+}
+
+bool ShmRing::wait_for_space(std::size_t need) noexcept {
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+  int spins = 0;
+  for (;;) {
+    if (hdr_->closed.load(std::memory_order_acquire) != 0) return false;
+    const std::uint64_t head = hdr_->head.load(std::memory_order_acquire);
+    if (capacity_ - static_cast<std::size_t>(tail - head) >= need) {
+      return true;
+    }
+    // Backpressure: never drop, never overwrite — yield first, then ease
+    // into millisecond sleeps so a stalled supervisor costs little CPU.
+    if (spins < 64) {
+      sched_yield();
+    } else {
+      timespec ts{0, 1000000};  // 1 ms
+      nanosleep(&ts, nullptr);
+    }
+    ++spins;
+  }
+}
+
+bool ShmRing::write_message(const void* data, std::size_t n,
+                            Doorbell* bell) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t remaining = n;
+  // A chunk must fit in the ring whole or wait_for_space can never be
+  // satisfied, so the payload cap is also bounded by the capacity.
+  const std::size_t max_part =
+      std::min(kMaxChunkPayload, capacity_ - sizeof(ChunkHeader));
+  bool first = true;
+  while (first || remaining > 0) {
+    first = false;
+    const std::size_t part = std::min(remaining, max_part);
+    const std::size_t need = sizeof(ChunkHeader) + part;
+    if (!wait_for_space(need)) return false;
+
+    ChunkHeader ch{};
+    ch.seq = write_seq_++;
+    ch.len = static_cast<std::uint32_t>(part);
+    ch.flags = kFlagMagic | (remaining > part ? kFlagMore : 0u);
+    if (corrupt_next_) {
+      // Simulated torn write: the payload lands but the stamp disagrees
+      // with the reader's expectation, as if a stale chunk were replayed.
+      ch.seq ^= 0x5A5A5A5A5A5A5A5Aull;
+      corrupt_next_ = false;
+    }
+
+    const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+    copy_in(tail, &ch, sizeof(ch));
+    if (part > 0) copy_in(tail + sizeof(ch), p, part);
+    hdr_->tail.store(tail + need, std::memory_order_release);
+    if (bell != nullptr) bell->ring();
+
+    p += part;
+    remaining -= part;
+  }
+  return true;
+}
+
+ShmRing::ReadStatus ShmRing::read_chunk(std::string& out,
+                                        bool& more) noexcept {
+  more = false;
+  if (corrupt_) return ReadStatus::Corrupt;
+  const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+  const std::uint64_t avail = tail - head;
+  if (avail == 0) return ReadStatus::None;
+  // The writer publishes whole chunks: a nonzero span smaller than a
+  // header, a bad magic, a wrong seq, or a length past the published
+  // span can only mean the ring's bytes are not what the writer wrote.
+  if (avail < sizeof(ChunkHeader)) {
+    corrupt_ = true;
+    return ReadStatus::Corrupt;
+  }
+  ChunkHeader ch{};
+  copy_out(head, &ch, sizeof(ch));
+  if ((ch.flags & kFlagMagicMask) != kFlagMagic || ch.seq != expect_seq_ ||
+      ch.len > kMaxChunkPayload ||
+      sizeof(ChunkHeader) + ch.len > avail) {
+    corrupt_ = true;
+    return ReadStatus::Corrupt;
+  }
+  const std::size_t old = out.size();
+  out.resize(old + ch.len);
+  if (ch.len > 0) copy_out(head + sizeof(ch), &out[old], ch.len);
+  hdr_->head.store(head + sizeof(ChunkHeader) + ch.len,
+                   std::memory_order_release);
+  ++expect_seq_;
+  more = (ch.flags & kFlagMore) != 0;
+  return ReadStatus::Chunk;
+}
+
+}  // namespace rperf::sandbox

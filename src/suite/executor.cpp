@@ -19,10 +19,12 @@
 #include "instrument/json.hpp"
 #include "instrument/trace_export.hpp"
 #include "instrument/trace_sink.hpp"
+#include "instrument/wire_codec.hpp"
 #include "mem/cache.hpp"
 #include "mem/pool.hpp"
 #include "sandbox/protocol.hpp"
 #include "sandbox/sandbox.hpp"
+#include "sandbox/wire.hpp"
 #include "suite/data_utils.hpp"
 
 namespace rperf::suite {
@@ -104,6 +106,62 @@ void decode_cell_record(const json::Value& v, RunResult& r) {
   r.pool_hits = static_cast<std::uint64_t>(v.number_or("pool_hits", 0.0));
   r.cache_hits = static_cast<std::uint64_t>(v.number_or("cache_hits", 0.0));
   r.error = v.string_or("error", "");
+}
+
+/// Stable dispatch-affinity key for a kernel name (FNV-1a, forced odd so
+/// 0 keeps meaning "no affinity").
+std::uint64_t affinity_key(const std::string& kernel) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : kernel) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h | 1ull;
+}
+
+/// Encode a worker cell record as a v3 wire blob — the binary counterpart
+/// of the JSON object worker_run_cell builds for the v2 transport. The
+/// checksum crosses as raw long-double bits (put_f80), not hexfloat text.
+std::string encode_cell_record_wire(const RunResult& r,
+                                    const std::string& injector_state,
+                                    const cali::Profile* profile) {
+  wire::Writer w;
+  w.begin_blob();
+  w.put_str(to_string(r.status));
+  w.put_f64(r.time_per_rep_sec);
+  w.put_f80(r.checksum);
+  w.put_i64(static_cast<std::int64_t>(r.problem_size));
+  w.put_i64(static_cast<std::int64_t>(r.reps));
+  w.put_f64(r.setup_ms);
+  w.put_f64(r.checksum_ms);
+  w.put_u64(r.pool_hits);
+  w.put_u64(r.cache_hits);
+  w.put_bytes(r.error);
+  w.put_bytes(injector_state);
+  w.put_u8(profile != nullptr ? 1 : 0);
+  if (profile != nullptr) cali::profile_to_wire(*profile, w);
+  return w.take();
+}
+
+/// Decode a v3 wire cell record (throws wire::Error on corruption, which
+/// the caller maps to the malformed-record path like a JSON parse error).
+void decode_cell_record_wire(const std::string& blob, RunResult& r,
+                             std::string& injector_state,
+                             std::optional<cali::Profile>& profile) {
+  wire::Reader rd(blob);
+  rd.expect_blob();
+  r.status = run_status_from_string(rd.get_str());
+  r.time_per_rep_sec = rd.get_f64();
+  r.checksum = rd.get_f80();
+  r.problem_size = static_cast<Index_type>(rd.get_i64());
+  r.reps = static_cast<Index_type>(rd.get_i64());
+  r.setup_ms = rd.get_f64();
+  r.checksum_ms = rd.get_f64();
+  r.pool_hits = rd.get_u64();
+  r.cache_hits = rd.get_u64();
+  r.error = rd.get_bytes();
+  injector_state = rd.get_bytes();
+  if (rd.get_u8() != 0) profile = cali::profile_from_wire(rd);
 }
 
 /// Classify a worker that terminated without completing the protocol.
@@ -479,6 +537,22 @@ void Executor::run() {
         channel.set_metadata("pool_peak_queue_depth",
                              std::to_string(pool_stats_.peak_queue_depth));
         channel.set_metadata("sandbox_degraded", degraded_ ? "true" : "false");
+        // Effective payload transport: "shm" only when every spawned
+        // worker actually got a ring; a partial ring failure is "mixed",
+        // a total one (or --transport json) is "json".
+        const char* transport = "json";
+        if (params_.shm_transport && pool_stats_.shm_spawns > 0) {
+          transport = pool_stats_.ring_fallbacks > 0 ? "mixed" : "shm";
+        }
+        channel.set_metadata("sandbox_transport", transport);
+        channel.set_metadata("pool_affinity_hits",
+                             std::to_string(pool_stats_.affinity_hits));
+        channel.set_metadata("pool_ring_messages",
+                             std::to_string(pool_stats_.ring_messages));
+        channel.set_metadata("pool_ring_payload_bytes",
+                             std::to_string(pool_stats_.ring_payload_bytes));
+        channel.set_metadata("pool_ring_fallbacks",
+                             std::to_string(pool_stats_.ring_fallbacks));
       }
     }
     // Memory-subsystem summary: how much memory the sweep reserved and how
@@ -953,7 +1027,7 @@ std::string Executor::worker_run_cell(const std::string& payload) {
   r.tuning = static_cast<std::size_t>(v.number_or("tuning_index", 0.0));
   r.tuning_name = v.string_or("tuning", "default");
 
-  json::Object o;
+  std::optional<cali::Profile> profile;
   KernelBase* kernel = find_kernel(kname);
   if (kernel == nullptr) {
     r.status = RunStatus::Failed;
@@ -968,10 +1042,31 @@ std::string Executor::worker_run_cell(const std::string& payload) {
     }
     sample_trace_counters();
     if (r.status == RunStatus::Passed) {
-      o["profile"] = cali::profile_to_value(cali::to_profile(scratch));
+      profile = cali::to_profile(scratch);
     }
   }
 
+  // Post-job injector state rides back on every result so the parent's
+  // fault schedule stays worker-count invariant (same fold as v1 "bye",
+  // but per job since this worker may die before any orderly goodbye).
+  const std::string injector_state = faults::injector().serialize_state();
+
+  // Wire fault: torn result. Under the Json transport the frame goes out
+  // with a bad CRC; under Shm the next ring chunk's sequence stamp is
+  // mangled. Either way the supervisor must reject the record and recycle
+  // this worker rather than mis-parse it.
+  if (faults::injector().fire_wire_fault(faults::FaultKind::ProtocolCorrupt,
+                                         kname)) {
+    sandbox::WorkerPool::corrupt_next_frame();
+  }
+
+  if (sandbox::WorkerPool::current_transport() == sandbox::Transport::Shm) {
+    return encode_cell_record_wire(r, injector_state,
+                                   profile ? &*profile : nullptr);
+  }
+
+  json::Object o;
+  if (profile) o["profile"] = cali::profile_to_value(*profile);
   o["status"] = to_string(r.status);
   o["time_per_rep_sec"] = r.time_per_rep_sec;
   o["checksum"] = static_cast<double>(r.checksum);
@@ -983,18 +1078,7 @@ std::string Executor::worker_run_cell(const std::string& payload) {
   o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
   o["cache_hits"] = static_cast<std::int64_t>(r.cache_hits);
   if (!r.error.empty()) o["error"] = r.error;
-  // Post-job injector state rides back on every result so the parent's
-  // fault schedule stays worker-count invariant (same fold as v1 "bye",
-  // but per job since this worker may die before any orderly goodbye).
-  o["injector"] = faults::injector().serialize_state();
-
-  // Wire fault: torn result. The frame goes out with a bad CRC; the
-  // supervisor must reject it and recycle this worker rather than
-  // mis-parse the record.
-  if (faults::injector().fire_wire_fault(faults::FaultKind::ProtocolCorrupt,
-                                         kname)) {
-    sandbox::WorkerPool::corrupt_next_frame();
-  }
+  o["injector"] = injector_state;
   return json::Value(std::move(o)).dump();
 }
 
@@ -1094,6 +1178,13 @@ void Executor::run_pooled(const std::vector<Cell>& cells,
   client.final_payload = [] {
     cali::TraceSink& sink = cali::TraceSink::instance();
     if (!sink.enabled()) return std::string();
+    if (sandbox::WorkerPool::current_transport() ==
+        sandbox::Transport::Shm) {
+      wire::Writer w;
+      w.begin_blob();
+      cali::trace_to_wire(sink.flush(), w);
+      return w.take();
+    }
     json::Object o;
     o["trace"] = sink.flush().to_value();
     return json::Value(std::move(o)).dump();
@@ -1101,6 +1192,12 @@ void Executor::run_pooled(const std::vector<Cell>& cells,
   client.on_final = [this](const std::string& payload) {
     if (payload.empty()) return;
     try {
+      if (wire::is_wire_blob(payload)) {
+        wire::Reader rd(payload);
+        rd.expect_blob();
+        worker_traces_.push_back(cali::trace_from_wire(rd));
+        return;
+      }
       const json::Value v = json::Value::parse(payload);
       if (v.contains("trace")) {
         worker_traces_.push_back(cali::TraceData::from_value(v.at("trace")));
@@ -1128,13 +1225,24 @@ void Executor::run_pooled(const std::vector<Cell>& cells,
     ++p.attempts;
     p.r.attempts = p.attempts;
     try {
-      const json::Value v = json::Value::parse(result);
-      decode_cell_record(v, p.r);
-      faults::injector().deserialize_state(v.string_or("injector", ""));
-      if (p.r.status == RunStatus::Passed) {
+      std::optional<cali::Profile> profile;
+      if (wire::is_wire_blob(result)) {
+        // v3 binary record: fixed-width fields, checksum as raw
+        // long-double bits, profile merged without a JSON round-trip.
+        std::string injector_state;
+        decode_cell_record_wire(result, p.r, injector_state, profile);
+        faults::injector().deserialize_state(injector_state);
+      } else {
+        const json::Value v = json::Value::parse(result);
+        decode_cell_record(v, p.r);
+        faults::injector().deserialize_state(v.string_or("injector", ""));
         if (v.contains("profile")) {
-          const cali::Channel scratch = cali::channel_from_profile(
-              cali::profile_from_value(v.at("profile")));
+          profile = cali::profile_from_value(v.at("profile"));
+        }
+      }
+      if (p.r.status == RunStatus::Passed) {
+        if (profile) {
+          const cali::Channel scratch = cali::channel_from_profile(*profile);
           channels_[{p.cell->vid, p.cell->tuning_name}].merge(scratch);
         }
         p.cell->kernel->restore_result(p.cell->vid, p.cell->tuning,
@@ -1258,12 +1366,51 @@ void Executor::run_pooled(const std::vector<Cell>& cells,
   cfg.limits.address_space_bytes = params_.sandbox_mem_mb << 20;
   // cfg.limits.cpu_seconds stays 0: RLIMIT_CPU accrues across a pooled
   // worker's whole life and would misfire mid-sweep (see PoolConfig).
+  cfg.transport = params_.shm_transport ? sandbox::Transport::Shm
+                                        : sandbox::Transport::Json;
+  // Affinity dispatch scans the pending queue for unclaimed keys, so give
+  // it a window wider than the default 2x workers: enough to see past one
+  // kernel's contiguous (variant, tuning) cells to the next kernel.
+  cfg.queue_capacity = static_cast<std::size_t>(params_.workers) * 8;
+  // Measured kernel loops must not preempt each other: cap concurrent
+  // jobs at the machine's hardware concurrency. Extra workers beyond the
+  // cap still hold their warm dataset-cache partitions and serve as
+  // crash-containment spares. On machines with cores >= workers this
+  // changes nothing.
+  cfg.max_inflight = std::max(1u, std::thread::hardware_concurrency());
+
+  // Seed the wire dictionary before the pool forks: every worker inherits
+  // the sweep's vocabulary (statuses, kernel/region names, metric keys) by
+  // memory image, so v3 records encode them as fixed-width refs with no
+  // per-blob definitions — Caliper's "attributes established at hello
+  // time", done by fork inheritance instead of a handshake.
+  if (params_.shm_transport) {
+    wire::Dictionary& d = wire::dict();
+    for (const RunStatus s :
+         {RunStatus::Passed, RunStatus::Failed, RunStatus::ChecksumInvalid,
+          RunStatus::TimedOut, RunStatus::Skipped, RunStatus::Crashed,
+          RunStatus::OutOfMemory, RunStatus::Killed}) {
+      d.intern(to_string(s));
+    }
+    for (const char* metric :
+         {"reps", "bytes_read", "bytes_written", "flops", "problem_size"}) {
+      d.intern(metric);
+    }
+    for (const PooledJob& p : jobs) {
+      d.intern(p.r.kernel);
+      d.intern(to_string(p.cell->vid));
+      d.intern(p.r.tuning_name);
+    }
+  }
 
   std::size_t next = 0;
   const auto source = [&]() -> std::optional<sandbox::Job> {
     if (stopped) return std::nullopt;
     if (next >= jobs.size()) return std::nullopt;
     sandbox::Job job;
+    // Cells of one kernel share a dispatch-affinity key, steering them to
+    // the worker whose dataset cache that kernel already warmed.
+    job.affinity = affinity_key(jobs[next].r.kernel);
     job.id = next++;
     return job;  // payload is filled by before_dispatch
   };

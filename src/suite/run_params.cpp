@@ -129,6 +129,16 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
     } else if (arg == "--heartbeat-timeout-ms") {
       p.heartbeat_timeout_ms = std::stoi(need_value(i, arg));
       ++i;
+    } else if (arg == "--transport") {
+      const std::string v = need_value(i, arg);
+      if (v == "shm") {
+        p.shm_transport = true;
+      } else if (v == "json") {
+        p.shm_transport = false;
+      } else {
+        throw std::invalid_argument("--transport must be shm or json");
+      }
+      ++i;
     } else {
       throw std::invalid_argument("unknown argument: " + arg);
     }
@@ -200,7 +210,10 @@ std::string RunParams::usage() {
          "                    --isolate cell; 0 = fork-per-cell (default)\n"
          "  --heartbeat-interval-ms N  pooled worker beat period\n"
          "  --heartbeat-timeout-ms N   recycle a pooled worker silent for\n"
-         "                    this long (default 2000)\n";
+         "                    this long (default 2000)\n"
+         "  --transport T     pooled payload transport: shm (default;\n"
+         "                    binary records over per-worker shared-memory\n"
+         "                    rings) or json (v2 JSON-in-frame pipe)\n";
 }
 
 }  // namespace rperf::suite

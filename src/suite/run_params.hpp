@@ -101,6 +101,13 @@ struct RunParams {
   /// Supervisor-side silence budget: a worker that produces no frame for
   /// this long is killed and recycled; its cell is retried elsewhere.
   int heartbeat_timeout_ms = 2000;
+  /// Pooled result/profile transport: true (default, --transport shm)
+  /// carries binary wire-encoded payloads over per-worker shared-memory
+  /// rings (pool protocol v3); false (--transport json) forces the v2
+  /// JSON-in-frame pipe path. Shm falls back to json per worker when ring
+  /// setup fails; the effective choice is recorded in the
+  /// "sandbox_transport" profile metadata.
+  bool shm_transport = true;
 
   [[nodiscard]] bool wants_kernel(const std::string& name) const {
     if (kernel_filter.empty()) return true;
