@@ -54,6 +54,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -63,6 +64,7 @@
 #include <sstream>
 
 #include "instrument/json.hpp"
+#include "store/store.hpp"
 #include "mem/cache.hpp"
 #include "mem/fill.hpp"
 #include "mem/pool.hpp"
@@ -251,6 +253,33 @@ int main(int argc, char** argv) {
               static_cast<double>(opt.passed) / opt.wall_sec, opt.setup_ms,
               opt.checksum_ms);
 
+  // store_append leg: the optimized path again with every cell landing
+  // in the crash-consistent profile store (--store). The store's write
+  // path is a handful of framed appends plus group-commit fsyncs per
+  // sweep, so its cost is gated at < 5% of suite wall time below.
+  suite::RunParams stp = params;
+  stp.store_dir = json_path + ".store";
+  std::filesystem::remove_all(stp.store_dir);
+  const ModeResult stored = run_mode(/*legacy=*/false, /*traced=*/false, stp);
+  const double store_overhead_pct =
+      (stored.wall_sec / opt.wall_sec - 1.0) * 100.0;
+  // Every terminal cell must have durably landed as a committed record
+  // of one complete, content-addressed run.
+  std::size_t store_landed = 0;
+  bool store_run_complete = false;
+  {
+    store::StoreReader reader(stp.store_dir);
+    if (const store::StoredRun* run = reader.find("")) {
+      store_landed = run->cells.size();
+      store_run_complete = run->complete;
+    }
+  }
+  std::filesystem::remove_all(stp.store_dir);
+  std::printf("  store:     %.3f s wall (%+.1f%% vs optimized; %zu/%zu "
+              "cells landed, run %s)\n",
+              stored.wall_sec, store_overhead_pct, store_landed, stored.cells,
+              store_run_complete ? "complete" : "INCOMPLETE");
+
   // Third leg: the optimized path again with the TraceSink recording,
   // cross-checking the sink's self-accounted trace_overhead_pct against
   // the wall-time delta it actually causes. The measured delta is noisy
@@ -334,6 +363,13 @@ int main(int argc, char** argv) {
   tr["trace_overhead_pct"] = traced.trace_overhead_pct;
   tr["measured_delta_pct"] = traced_delta_pct;
   o["traced"] = std::move(tr);
+  json::Object st;
+  st["wall_sec"] = stored.wall_sec;
+  st["cells_passed"] = static_cast<std::int64_t>(stored.passed);
+  st["cells_landed"] = static_cast<std::int64_t>(store_landed);
+  st["run_complete"] = store_run_complete;
+  st["overhead_pct"] = store_overhead_pct;
+  o["store_append"] = std::move(st);
   json::Object fc;
   fc["wall_sec"] = forkcell.wall_sec;
   fc["cells_passed"] = static_cast<std::int64_t>(forkcell.passed);
@@ -369,6 +405,24 @@ int main(int argc, char** argv) {
   if (mismatched > 0 || sandbox_mismatched > 0 || !bit_identical) return 1;
   if (legacy.passed != opt.passed || legacy.passed == 0) return 1;
   if (traced.passed != opt.passed) return 1;
+  // The store leg gates both function (every cell committed to one
+  // complete run) and cost (< 5% of the suite's wall time).
+  if (stored.passed != opt.passed || store_landed != stored.cells ||
+      !store_run_complete) {
+    std::fprintf(stderr, "  store leg lost cells: %zu/%zu landed\n",
+                 store_landed, stored.cells);
+    return 1;
+  }
+  // At smoke sizes the whole sweep is milliseconds and the store's
+  // dozen group-commit fsyncs dominate any percentage, so the 5% gate
+  // applies once the absolute delta is measurable (>= 50 ms); at real
+  // bench sizes 5% of the wall time is far above that floor.
+  if (store_overhead_pct >= 5.0 &&
+      stored.wall_sec - opt.wall_sec >= 0.05) {
+    std::fprintf(stderr, "  store overhead %.1f%% exceeds the 5%% budget\n",
+                 store_overhead_pct);
+    return 1;
+  }
   if (forkcell.passed != opt.passed || pooled.passed != opt.passed ||
       pooled_shm.passed != opt.passed) {
     return 1;

@@ -29,10 +29,14 @@ FaultKind kind_from_string(const std::string& s) {
   if (s == "hang") return FaultKind::Hang;
   if (s == "hbdrop") return FaultKind::HeartbeatDrop;
   if (s == "protocorrupt") return FaultKind::ProtocolCorrupt;
+  if (s == "shortwrite") return FaultKind::ShortWrite;
+  if (s == "enospc") return FaultKind::Enospc;
+  if (s == "fsyncfail") return FaultKind::FsyncFail;
+  if (s == "tornseg") return FaultKind::TornSeg;
   throw std::invalid_argument(
       "faults: unknown fault kind '" + s +
       "' (want alloc|throw|slow|corrupt|segv|abort|oom|hang|hbdrop|"
-      "protocorrupt)");
+      "protocorrupt|shortwrite|enospc|fsyncfail|tornseg)");
 }
 
 /// Exhaust memory the way a runaway kernel would: allocate and touch
@@ -120,6 +124,10 @@ std::string to_string(FaultKind k) {
     case FaultKind::Hang: return "hang";
     case FaultKind::HeartbeatDrop: return "hbdrop";
     case FaultKind::ProtocolCorrupt: return "protocorrupt";
+    case FaultKind::ShortWrite: return "shortwrite";
+    case FaultKind::Enospc: return "enospc";
+    case FaultKind::FsyncFail: return "fsyncfail";
+    case FaultKind::TornSeg: return "tornseg";
   }
   return "?";
 }
@@ -257,6 +265,19 @@ bool Injector::fire_wire_fault(FaultKind kind, const std::string& kernel) {
   }
   for (auto& spec : specs_) {
     if (spec.kind == kind && matches(spec, kernel) && fire(spec)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Injector::fire_io_fault(FaultKind kind, const std::string& target) {
+  if (kind != FaultKind::ShortWrite && kind != FaultKind::Enospc &&
+      kind != FaultKind::FsyncFail && kind != FaultKind::TornSeg) {
+    return false;
+  }
+  for (auto& spec : specs_) {
+    if (spec.kind == kind && matches(spec, target) && fire(spec)) {
       return true;
     }
   }

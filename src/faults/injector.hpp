@@ -15,7 +15,11 @@
 //   kind   := 'alloc' | 'throw' | 'slow' | 'corrupt'
 //           | 'segv' | 'abort' | 'oom' | 'hang'
 //           | 'hbdrop' | 'protocorrupt'   (worker-pool wire faults)
-//   kernel := full kernel name (e.g. Stream_TRIAD) or '*' for any
+//           | 'shortwrite' | 'enospc' | 'fsyncfail' | 'tornseg'
+//                                          (profile-store I/O faults)
+//   kernel := full kernel name (e.g. Stream_TRIAD) or '*' for any;
+//             for the I/O kinds this position names the store file class
+//             being written ('journal' or 'segment') instead of a kernel
 //   arg    := COUNT        fire at most COUNT times, then disarm
 //                          (alloc/throw/corrupt; default: unlimited)
 //           | DELAY 'ms'   slow: injected delay per measurement pass
@@ -64,6 +68,19 @@ enum class FaultKind {
   // process-fatal.
   HeartbeatDrop,
   ProtocolCorrupt,
+  // Store-I/O kinds (rperf::store coverage): queried explicitly by the
+  // profile store's file layer via fire_io_fault, beneath the record
+  // framing, so every torn-write recovery path is drivable from the
+  // fault grammar. 'shortwrite' makes the next append persist only a
+  // prefix of its bytes; 'enospc' fails it outright (disk full);
+  // 'fsyncfail' fails the durability barrier after the data landed;
+  // 'tornseg' persists a prefix AND corrupts a byte inside it (a torn,
+  // scribbled sector). None are process-fatal: the store latches failed
+  // and the suite continues without durability.
+  ShortWrite,
+  Enospc,
+  FsyncFail,
+  TornSeg,
 };
 
 /// True for kinds that terminate or wedge the executing process.
@@ -124,6 +141,14 @@ class Injector {
   /// controls), keeping the injector free of transport knowledge.
   [[nodiscard]] bool fire_wire_fault(FaultKind kind,
                                      const std::string& kernel);
+  /// Explicit query for the store-I/O kinds (ShortWrite / Enospc /
+  /// FsyncFail / TornSeg): true when an armed spec of `kind` fires for
+  /// `target` — the store file class ("journal" or "segment"), matched
+  /// against the spec's kernel position ('*' matches both). Called by
+  /// rperf::store's file layer around each write/fsync; sabotaging the
+  /// file is the caller's job, keeping the injector free of I/O
+  /// knowledge. Unlike on_lifecycle these fire outside any ScopedCell.
+  [[nodiscard]] bool fire_io_fault(FaultKind kind, const std::string& target);
 
   // ----- state transfer (sandboxed execution) -----
   // A forked worker inherits the injector's armed state; these let the

@@ -132,12 +132,16 @@ class Writer {
   }
 
   /// Interned string ref — global id when seeded, else an inline
-  /// definition on first use and a blob-local ref after.
+  /// definition on first use and a blob-local ref after. In
+  /// self-contained mode the global dictionary is never consulted, so
+  /// the blob decodes in any process (at-rest storage: rperf::store).
   void put_str(const std::string& s) {
-    const std::uint32_t id = dict().find(s);
-    if (id != kInlineDef && (id & kLocalBit) == 0) {
-      put_u32(id);
-      return;
+    if (!self_contained_) {
+      const std::uint32_t id = dict().find(s);
+      if (id != kInlineDef && (id & kLocalBit) == 0) {
+        put_u32(id);
+        return;
+      }
     }
     const auto it = local_ids_.find(s);
     if (it != local_ids_.end()) {
@@ -159,12 +163,19 @@ class Writer {
     put_u8(kBlobVersion);
   }
 
+  /// Encode every string as inline-def/blob-local ref, never as a
+  /// process-global dictionary id. Required for blobs that outlive the
+  /// encoding process (on-disk segments); the fork-inherited dictionary
+  /// optimization only holds inside one process tree.
+  void set_self_contained(bool v) { self_contained_ = v; }
+
  private:
   void raw(const void* p, std::size_t n) {
     buf_.append(static_cast<const char*>(p), n);
   }
   std::string buf_;
   std::map<std::string, std::uint32_t> local_ids_;
+  bool self_contained_ = false;
 };
 
 /// Bounds-checked decoder over a borrowed buffer.

@@ -1,0 +1,777 @@
+#include "store/store.hpp"
+
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "faults/injector.hpp"
+#include "instrument/wire_codec.hpp"
+#include "sandbox/protocol.hpp"
+#include "sandbox/wire.hpp"
+
+namespace rperf::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = sizeof(kFileMagic);
+constexpr std::size_t kFrameBytes = 12;  // magic + len + crc
+constexpr std::size_t kMinBody = 9;      // seq + type
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t load_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Flip one bit in the middle of `path` — the tornseg@segment fault's
+// simulated media damage to a sealed, immutable file.
+void scribble_byte(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size > static_cast<off_t>(kHeaderBytes)) {
+    const off_t at = kHeaderBytes + (size - kHeaderBytes) / 2;
+    char b = 0;
+    if (::pread(fd, &b, 1, at) == 1) {
+      b ^= 0x40;
+      (void)::pwrite(fd, &b, 1, at);
+    }
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Scanning: the one reassembly routine shared by writer recovery, the
+// reader, and fsck, so all three agree byte-for-byte on what "committed"
+// means.
+
+/// A decoded-but-uncommitted record, parked until a valid marker.
+struct PendingOp {
+  RecordType type = RecordType::RunHeader;
+  StoredRun run;            // RunHeader
+  CellRecord cell;          // CellResult
+  StoredProfile profile;    // ProfileRegion
+  std::map<std::string, double> summary;  // TraceSummary
+};
+
+struct ScanState {
+  std::vector<StoredRun> runs;
+  std::vector<PendingOp> pending;
+  int open_run = -1;              ///< index into runs, -1 = none open
+  std::uint64_t last_seq = 0;     ///< seq of last structurally valid record
+  std::uint64_t committed_seq = 0;  ///< seq of last *applied* marker
+  std::size_t committed_cells = 0;
+};
+
+struct FileScan {
+  std::uint64_t committed_end = 0;  ///< bytes that are committed state
+  bool clean = false;               ///< every byte accounted for
+  std::string why;                  ///< first problem (clean => empty)
+};
+
+/// Run id the next marker must name: a pending header wins over the
+/// open committed run.
+const std::string* current_run_id(const ScanState& st) {
+  for (auto it = st.pending.rbegin(); it != st.pending.rend(); ++it) {
+    if (it->type == RecordType::RunHeader) return &it->run.run_id;
+  }
+  if (st.open_run >= 0) return &st.runs[st.open_run].run_id;
+  return nullptr;
+}
+
+/// Decode one record body into the pending list / apply a marker.
+/// Returns false (with `why`) when the record is invalid — the scan
+/// stops there, fail closed.
+bool consume_record(ScanState& st, RecordType type, const std::string& payload,
+                    std::uint64_t seq, const std::string& file,
+                    std::string& why) {
+  try {
+    switch (type) {
+      case RecordType::RunHeader: {
+        wire::Reader r(payload);
+        PendingOp op;
+        op.type = type;
+        op.run.run_id = r.get_bytes();
+        const std::uint32_t n = r.get_u32();
+        r.check_count(n, 8);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const std::string key = r.get_bytes();
+          op.run.config[key] = r.get_bytes();
+        }
+        if (op.run.run_id != run_config_id(op.run.config)) {
+          why = "run id does not match its config hash";
+          return false;
+        }
+        op.run.file = file;
+        st.pending.push_back(std::move(op));
+        return true;
+      }
+      case RecordType::CellResult:
+      case RecordType::ProfileRegion:
+      case RecordType::TraceSummary: {
+        if (current_run_id(st) == nullptr) {
+          why = "data record outside any run";
+          return false;
+        }
+        PendingOp op;
+        op.type = type;
+        if (type == RecordType::CellResult) {
+          op.cell = decode_cell_payload(payload);
+        } else if (type == RecordType::ProfileRegion) {
+          wire::Reader r(payload);
+          op.profile.variant = r.get_bytes();
+          op.profile.tuning = r.get_bytes();
+          op.profile.profile = cali::profile_from_wire(r);
+        } else {
+          wire::Reader r(payload);
+          const std::uint32_t n = r.get_u32();
+          r.check_count(n, 12);
+          for (std::uint32_t i = 0; i < n; ++i) {
+            const std::string key = r.get_bytes();
+            op.summary[key] = r.get_f64();
+          }
+        }
+        st.pending.push_back(std::move(op));
+        return true;
+      }
+      case RecordType::CommitMarker: {
+        wire::Reader r(payload);
+        const std::uint64_t covers = r.get_u64();
+        const bool final_marker = r.get_u8() != 0;
+        const std::string marker_run = r.get_bytes();
+        // A marker commits nothing unless it provably belongs exactly
+        // here: it must cover its immediate predecessor and name the
+        // run that is actually open. A stale or relocated marker (torn
+        // write, replayed bytes) fails one of these and the scan stops
+        // — fail closed, the tail is quarantined, not trusted.
+        if (covers + 1 != seq) {
+          why = "commit marker covers_seq does not match its predecessor";
+          return false;
+        }
+        const std::string* open_id = current_run_id(st);
+        if (open_id == nullptr || *open_id != marker_run) {
+          why = "commit marker names a run that is not open";
+          return false;
+        }
+        for (auto& op : st.pending) {
+          switch (op.type) {
+            case RecordType::RunHeader:
+              st.runs.push_back(std::move(op.run));
+              st.open_run = static_cast<int>(st.runs.size()) - 1;
+              break;
+            case RecordType::CellResult:
+              st.runs[st.open_run].cells.push_back(std::move(op.cell));
+              ++st.committed_cells;
+              break;
+            case RecordType::ProfileRegion:
+              st.runs[st.open_run].profiles.push_back(std::move(op.profile));
+              break;
+            case RecordType::TraceSummary:
+              st.runs[st.open_run].trace_summary = std::move(op.summary);
+              break;
+            case RecordType::CommitMarker:
+              break;  // never pending
+          }
+        }
+        st.pending.clear();
+        if (final_marker && st.open_run >= 0) {
+          st.runs[st.open_run].complete = true;
+          st.open_run = -1;
+        }
+        st.committed_seq = seq;
+        return true;
+      }
+    }
+  } catch (const std::exception& e) {
+    why = std::string("payload decode failed: ") + e.what();
+    return false;
+  }
+  why = "unknown record type " +
+        std::to_string(static_cast<unsigned>(type));
+  return false;
+}
+
+/// Scan one store file. Committed state advances only at valid commit
+/// markers; everything after the last one is tail. Any structural
+/// violation — bad magic, bad length, CRC mismatch, sequence break,
+/// undecodable payload, orphan marker — stops the scan at that point.
+FileScan scan_file(const std::string& data, const std::string& file,
+                   ScanState& st) {
+  FileScan out;
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kFileMagic, kHeaderBytes) != 0) {
+    out.why = "bad file header";
+    return out;
+  }
+  std::size_t pos = kHeaderBytes;
+  out.committed_end = kHeaderBytes;
+  bool first_in_file = true;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameBytes) {
+      out.why = "truncated frame header";
+      break;
+    }
+    if (load_u32(data.data() + pos) != kRecordMagic) {
+      out.why = "bad record magic";
+      break;
+    }
+    const std::uint32_t len = load_u32(data.data() + pos + 4);
+    if (len < kMinBody || len > kMaxRecordBody) {
+      out.why = "implausible record length";
+      break;
+    }
+    if (data.size() - pos - kFrameBytes < len) {
+      out.why = "truncated record body";
+      break;
+    }
+    const char* body = data.data() + pos + kFrameBytes;
+    if (sandbox::crc32(body, len) != load_u32(data.data() + pos + 8)) {
+      out.why = "record crc mismatch";
+      break;
+    }
+    const std::uint64_t seq = load_u64(body);
+    // Within a file seqs step by exactly 1; across files they may only
+    // jump forward (lets fsck drop a quarantined segment without
+    // invalidating its successors). Duplicate or regressing seqs are
+    // corruption even when the CRC checks out (replayed bytes).
+    if (first_in_file ? seq <= st.last_seq : seq != st.last_seq + 1) {
+      out.why = "sequence violation";
+      break;
+    }
+    const auto type = static_cast<RecordType>(
+        static_cast<unsigned char>(body[8]));
+    const std::string payload(body + kMinBody, len - kMinBody);
+    std::string why;
+    if (!consume_record(st, type, payload, seq, file, why)) {
+      out.why = why;
+      break;
+    }
+    st.last_seq = seq;
+    first_in_file = false;
+    pos += kFrameBytes + len;
+    if (type == RecordType::CommitMarker) out.committed_end = pos;
+  }
+  if (out.why.empty() &&
+      (out.committed_end != data.size() || !st.pending.empty())) {
+    out.why = "uncommitted trailing records";
+  }
+  out.clean = out.why.empty();
+  // Tail records (valid-but-uncommitted or garbage) are discarded: the
+  // next file — and a resuming writer — continue from the committed
+  // point, not from whatever the torn tail reached.
+  st.pending.clear();
+  st.last_seq = st.committed_seq;
+  // A run left open in this file can never be continued in another
+  // (runs never span a seal), so close it for strictness.
+  st.open_run = -1;
+  return out;
+}
+
+struct ScanOutcome {
+  ScanState state;
+  std::size_t segments = 0;
+  bool any_files = false;
+  bool journal_exists = false;
+  std::uint64_t journal_size = 0;
+  std::uint64_t journal_committed_end = 0;  ///< truncation target
+  std::string journal_why;                  ///< tail cause (maybe empty)
+  std::vector<std::string> damaged_segments;        ///< paths
+  std::vector<std::string> segment_problems;        ///< "file: why"
+  std::uint64_t max_segment_index = 0;
+};
+
+[[nodiscard]] std::uint64_t tail_bytes_of(const ScanOutcome& o) {
+  return o.journal_exists && o.journal_size > o.journal_committed_end
+             ? o.journal_size - o.journal_committed_end
+             : 0;
+}
+
+ScanOutcome scan_store(const std::string& dir) {
+  ScanOutcome out;
+  std::vector<std::string> segments;
+  if (fs::is_directory(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("seg-", 0) == 0 && name.size() > 8 &&
+          name.substr(name.size() - 4) == ".rps") {
+        segments.push_back(entry.path().string());
+        const std::uint64_t idx =
+            std::strtoull(name.c_str() + 4, nullptr, 10);
+        out.max_segment_index = std::max(out.max_segment_index, idx);
+      }
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  out.segments = segments.size();
+  for (const auto& seg : segments) {
+    out.any_files = true;
+    const std::string data = read_file(seg);
+    const FileScan scan = scan_file(data, fs::path(seg).filename(),
+                                    out.state);
+    if (!scan.clean) {
+      out.damaged_segments.push_back(seg);
+      out.segment_problems.push_back(
+          fs::path(seg).filename().string() + ": " +
+          (scan.why.empty() ? "uncommitted trailing records" : scan.why));
+    }
+  }
+  const std::string journal = dir + "/journal.rps";
+  if (fs::exists(journal)) {
+    out.any_files = true;
+    out.journal_exists = true;
+    const std::string data = read_file(journal);
+    out.journal_size = data.size();
+    if (data.empty()) {
+      // Created but never written: fine, the writer headers it.
+      out.journal_committed_end = 0;
+    } else {
+      const FileScan scan =
+          scan_file(data, "journal.rps", out.state);
+      out.journal_committed_end = scan.committed_end;
+      out.journal_why = scan.why;
+    }
+  }
+  return out;
+}
+
+/// Preserve `tail` under DIR/quarantine/tail-NNNN.bin (never dropped).
+std::string quarantine_tail(const std::string& dir, const std::string& tail) {
+  const std::string qdir = dir + "/quarantine";
+  fs::create_directories(qdir);
+  unsigned next = 0;
+  for (const auto& entry : fs::directory_iterator(qdir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("tail-", 0) == 0) {
+      next = std::max(next,
+                      static_cast<unsigned>(
+                          std::strtoul(name.c_str() + 5, nullptr, 10)) + 1);
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "tail-%04u.bin", next);
+  const std::string path = qdir + "/" + buf;
+  atomic_write_file(path, tail);
+  return path;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+std::string run_config_id(const std::map<std::string, std::string>& config) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](const char* s, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(s[i]);
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [key, value] : config) {
+    mix(key.data(), key.size());
+    mix("=", 1);
+    mix(value.data(), value.size());
+    mix("\n", 1);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf, 16);
+}
+
+std::string encode_record(RecordType type, std::uint64_t seq,
+                          const std::string& payload) {
+  std::string body;
+  body.reserve(kMinBody + payload.size());
+  char tmp[8];
+  std::memcpy(tmp, &seq, 8);
+  body.append(tmp, 8);
+  body.push_back(static_cast<char>(type));
+  body += payload;
+  const auto len = static_cast<std::uint32_t>(body.size());
+  const std::uint32_t crc = sandbox::crc32(body.data(), body.size());
+  std::string frame;
+  frame.reserve(kFrameBytes + body.size());
+  std::uint32_t magic = kRecordMagic;
+  std::memcpy(tmp, &magic, 4);
+  frame.append(tmp, 4);
+  std::memcpy(tmp, &len, 4);
+  frame.append(tmp, 4);
+  std::memcpy(tmp, &crc, 4);
+  frame.append(tmp, 4);
+  frame += body;
+  return frame;
+}
+
+std::string encode_cell_payload(const CellRecord& c) {
+  wire::Writer w;
+  w.set_self_contained(true);
+  w.put_bytes(c.kernel);
+  w.put_bytes(c.variant);
+  w.put_bytes(c.tuning);
+  w.put_bytes(c.status);
+  w.put_f64(c.time_per_rep_sec);
+  w.put_f80(c.checksum);
+  w.put_i64(c.problem_size);
+  w.put_i64(c.reps);
+  w.put_u32(c.attempts);
+  w.put_bytes(c.error);
+  return w.take();
+}
+
+CellRecord decode_cell_payload(const std::string& payload) {
+  wire::Reader r(payload);
+  CellRecord c;
+  c.kernel = r.get_bytes();
+  c.variant = r.get_bytes();
+  c.tuning = r.get_bytes();
+  c.status = r.get_bytes();
+  c.time_per_rep_sec = r.get_f64();
+  c.checksum = r.get_f80();
+  c.problem_size = r.get_i64();
+  c.reps = r.get_i64();
+  c.attempts = r.get_u32();
+  c.error = r.get_bytes();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// StoreWriter
+
+StoreWriter::StoreWriter(std::string dir, WriterOptions opt)
+    : dir_(std::move(dir)), opt_(opt) {
+  if (opt_.sync_every_commits == 0) opt_.sync_every_commits = 1;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw StoreError("store: cannot create '" + dir_ + "': " + ec.message());
+  }
+  // Single writer per store, enforced by flock so the lock evaporates
+  // with the process — a SIGKILLed writer never wedges the store.
+  const std::string lock_path = dir_ + "/store.lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    throw StoreError("store: cannot open lock '" + lock_path + "'");
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw StoreError("store: another writer holds '" + lock_path + "'");
+  }
+  try {
+    recover_journal();
+  } catch (...) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw;
+  }
+}
+
+void StoreWriter::recover_journal() {
+  const ScanOutcome scan = scan_store(dir_);
+  if (!scan.damaged_segments.empty()) {
+    std::string what =
+        "store: sealed segment damage in '" + dir_ + "' (";
+    for (std::size_t i = 0; i < scan.segment_problems.size(); ++i) {
+      if (i) what += "; ";
+      what += scan.segment_problems[i];
+    }
+    what += ") — run rperf-report --store with --fsck --repair";
+    throw CorruptError(what);
+  }
+  next_segment_ = scan.segments ? scan.max_segment_index + 1 : 0;
+  next_seq_ = scan.state.committed_seq + 1;
+
+  const std::string journal_path = dir_ + "/journal.rps";
+  const std::uint64_t tail = tail_bytes_of(scan);
+  if (tail > 0) {
+    // Quarantine before truncating: the torn tail is preserved evidence,
+    // never silently dropped.
+    const std::string data = read_file(journal_path);
+    recovery_.quarantine_file =
+        quarantine_tail(dir_, data.substr(scan.journal_committed_end));
+    recovery_.quarantined_bytes = tail;
+  }
+  try {
+    journal_.open(journal_path, "journal");
+    if (tail > 0) journal_.truncate(scan.journal_committed_end);
+    if (journal_.size() < kHeaderBytes) {
+      if (journal_.size() != 0) journal_.truncate(0);
+      journal_.append(kFileMagic, kHeaderBytes);
+      journal_.sync();
+      fsync_dir(dir_);
+    }
+  } catch (const IoError& e) {
+    failed_ = true;
+    throw StoreError(e.what());
+  }
+}
+
+StoreWriter::~StoreWriter() {
+  // An unfinished run stays as committed-cells-without-final-marker
+  // (an incomplete run on reopen) — exactly the kill semantics.
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+}
+
+void StoreWriter::append_record(RecordType type, const std::string& payload) {
+  if (failed_) {
+    throw StoreError("store: writer latched failed after an I/O error");
+  }
+  const std::string frame = encode_record(type, next_seq_, payload);
+  try {
+    journal_.append(frame.data(), frame.size());
+  } catch (const IoError& e) {
+    failed_ = true;
+    throw StoreError(e.what());
+  }
+  if (type != RecordType::CommitMarker) last_data_seq_ = next_seq_;
+  ++next_seq_;
+}
+
+void StoreWriter::barrier() {
+  try {
+    journal_.sync();
+  } catch (const IoError& e) {
+    failed_ = true;
+    throw StoreError(e.what());
+  }
+  commits_since_sync_ = 0;
+}
+
+std::string StoreWriter::begin_run(
+    const std::map<std::string, std::string>& config) {
+  if (!run_id_.empty()) {
+    throw StoreError("store: begin_run with run '" + run_id_ +
+                     "' still open");
+  }
+  const std::string id = run_config_id(config);
+  wire::Writer w;
+  w.set_self_contained(true);
+  w.put_bytes(id);
+  w.put_u32(static_cast<std::uint32_t>(config.size()));
+  for (const auto& [key, value] : config) {
+    w.put_bytes(key);
+    w.put_bytes(value);
+  }
+  append_record(RecordType::RunHeader, w.take());
+  run_id_ = id;
+  cells_pending_ = 0;
+  commit();  // the run exists even if no cell ever lands
+  return id;
+}
+
+void StoreWriter::add_cell(const CellRecord& cell) {
+  if (run_id_.empty()) throw StoreError("store: add_cell outside a run");
+  append_record(RecordType::CellResult, encode_cell_payload(cell));
+  ++cells_pending_;
+}
+
+void StoreWriter::add_profile(const std::string& variant,
+                              const std::string& tuning,
+                              const cali::Profile& profile) {
+  if (run_id_.empty()) throw StoreError("store: add_profile outside a run");
+  wire::Writer w;
+  w.set_self_contained(true);
+  w.put_bytes(variant);
+  w.put_bytes(tuning);
+  cali::profile_to_wire(profile, w);
+  append_record(RecordType::ProfileRegion, w.take());
+}
+
+void StoreWriter::add_trace_summary(
+    const std::map<std::string, double>& summary) {
+  if (run_id_.empty()) {
+    throw StoreError("store: add_trace_summary outside a run");
+  }
+  wire::Writer w;
+  w.set_self_contained(true);
+  w.put_u32(static_cast<std::uint32_t>(summary.size()));
+  for (const auto& [key, value] : summary) {
+    w.put_bytes(key);
+    w.put_f64(value);
+  }
+  append_record(RecordType::TraceSummary, w.take());
+}
+
+void StoreWriter::commit() {
+  if (run_id_.empty()) throw StoreError("store: commit outside a run");
+  wire::Writer w;
+  w.set_self_contained(true);
+  w.put_u64(next_seq_ - 1);  // covers: the immediately preceding record
+  w.put_u8(0);
+  w.put_bytes(run_id_);
+  append_record(RecordType::CommitMarker, w.take());
+  cells_committed_ += cells_pending_;
+  cells_pending_ = 0;
+  // Group commit: the marker is consistency, the fsync is durability.
+  // Recovery validates markers against their covered records, so a
+  // power cut between barriers can only lose the undurable window —
+  // never resurrect a marker over torn data.
+  if (++commits_since_sync_ >= opt_.sync_every_commits) barrier();
+}
+
+void StoreWriter::finish_run() {
+  if (run_id_.empty()) throw StoreError("store: finish_run outside a run");
+  barrier();  // fence the run's data before declaring it final
+  wire::Writer w;
+  w.set_self_contained(true);
+  w.put_u64(next_seq_ - 1);
+  w.put_u8(1);
+  w.put_bytes(run_id_);
+  append_record(RecordType::CommitMarker, w.take());
+  cells_committed_ += cells_pending_;
+  cells_pending_ = 0;
+  barrier();
+  run_id_.clear();
+  seal();
+}
+
+void StoreWriter::seal() {
+  // The journal is durable (finish_run's barrier); publish it as an
+  // immutable segment: rename + directory fsync, then start fresh. This
+  // publication path is the 'segment' class of the I/O fault grammar:
+  // enospc/shortwrite fail it before the rename (the run stays in the
+  // journal), fsyncfail fails the directory barrier after the rename,
+  // and tornseg scribbles a byte inside the freshly sealed file —
+  // simulated media damage to an immutable segment.
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.rps",
+                static_cast<unsigned long long>(next_segment_));
+  auto& inj = faults::injector();
+  try {
+    if (inj.fire_io_fault(faults::FaultKind::Enospc, "segment") ||
+        inj.fire_io_fault(faults::FaultKind::ShortWrite, "segment")) {
+      throw IoError("store: injected failure publishing " +
+                    std::string(name));
+    }
+    journal_.close();
+    atomic_rename(dir_ + "/journal.rps", dir_ + "/" + name);
+    ++next_segment_;
+    if (inj.fire_io_fault(faults::FaultKind::FsyncFail, "segment")) {
+      throw IoError("store: injected fsync failure publishing " +
+                    std::string(name));
+    }
+    fsync_dir(dir_);
+    if (inj.fire_io_fault(faults::FaultKind::TornSeg, "segment")) {
+      scribble_byte(dir_ + "/" + name);
+      throw IoError("store: injected media damage in " + std::string(name));
+    }
+    journal_.open(dir_ + "/journal.rps", "journal");
+    journal_.append(kFileMagic, kHeaderBytes);
+    journal_.sync();
+  } catch (const IoError& e) {
+    failed_ = true;
+    throw StoreError(e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StoreReader
+
+StoreReader::StoreReader(const std::string& dir) {
+  const ScanOutcome scan = scan_store(dir);
+  if (!scan.any_files) {
+    throw StoreError("store: no profile store at '" + dir + "'");
+  }
+  if (!scan.damaged_segments.empty()) {
+    std::string what = "store: sealed segment damage in '" + dir + "' (";
+    for (std::size_t i = 0; i < scan.segment_problems.size(); ++i) {
+      if (i) what += "; ";
+      what += scan.segment_problems[i];
+    }
+    what += ")";
+    throw CorruptError(what);
+  }
+  runs_ = scan.state.runs;
+  tail_bytes_ = tail_bytes_of(scan);
+  segments_ = scan.segments;
+}
+
+const StoredRun* StoreReader::find(const std::string& prefix) const {
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+    if (prefix.empty() || it->run_id.rfind(prefix, 0) == 0) return &*it;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// fsck
+
+FsckReport fsck(const std::string& dir, bool repair) {
+  const ScanOutcome scan = scan_store(dir);
+  if (!scan.any_files) {
+    throw StoreError("store: no profile store at '" + dir + "'");
+  }
+  FsckReport report;
+  report.segments = scan.segments;
+  report.runs = scan.state.runs.size();
+  report.committed_cells = scan.state.committed_cells;
+  for (const auto& run : scan.state.runs) {
+    if (run.complete) ++report.complete_runs;
+  }
+  report.tail_bytes = tail_bytes_of(scan);
+
+  if (!scan.damaged_segments.empty()) {
+    report.status = FsckStatus::Corrupt;
+    for (const auto& problem : scan.segment_problems) {
+      report.notes.push_back("corrupt sealed segment: " + problem);
+    }
+  } else if (report.tail_bytes > 0) {
+    report.status = FsckStatus::Recoverable;
+    report.notes.push_back(
+        "torn journal tail: " + std::to_string(report.tail_bytes) +
+        " uncommitted byte(s)" +
+        (scan.journal_why.empty() ? "" : " (" + scan.journal_why + ")"));
+  }
+
+  if (repair && report.status != FsckStatus::Clean) {
+    // Refuse to repair under a live writer: take the same flock.
+    const std::string lock_path = dir + "/store.lock";
+    const int lock_fd =
+        ::open(lock_path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (lock_fd < 0 || ::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+      if (lock_fd >= 0) ::close(lock_fd);
+      throw StoreError("store: cannot repair '" + dir +
+                       "': a writer holds the lock");
+    }
+    for (const auto& seg : scan.damaged_segments) {
+      const std::string dest =
+          dir + "/quarantine/" + fs::path(seg).filename().string();
+      fs::create_directories(dir + "/quarantine");
+      atomic_rename(seg, dest);
+      report.notes.push_back("quarantined damaged segment -> " + dest);
+      report.repaired = true;
+    }
+    if (report.tail_bytes > 0) {
+      const std::string journal_path = dir + "/journal.rps";
+      const std::string data = read_file(journal_path);
+      const std::string qpath =
+          quarantine_tail(dir, data.substr(scan.journal_committed_end));
+      AppendFile journal;
+      journal.open(journal_path, "journal");
+      journal.truncate(scan.journal_committed_end);
+      journal.close();
+      report.notes.push_back("quarantined torn journal tail -> " + qpath);
+      report.repaired = true;
+    }
+    ::close(lock_fd);
+  }
+  return report;
+}
+
+}  // namespace rperf::store

@@ -265,7 +265,8 @@ RunStatus Executor::run_cell_once(const Cell& cell, cali::Channel& channel,
   return RunStatus::Passed;
 }
 
-void Executor::append_progress(const RunResult& r) const {
+void Executor::append_progress(const RunResult& r) {
+  store_append_cell(r);
   const std::string path = progress_path();
   if (path.empty()) return;
   json::Object o;
@@ -291,15 +292,86 @@ void Executor::append_progress(const RunResult& r) const {
                   std::chrono::steady_clock::now() - run_start_)
                   .count();
   if (!r.error.empty()) o["error"] = r.error;
-  std::ofstream os(path, std::ios::app);
-  if (!os) {
-    throw std::runtime_error("cannot append to progress file: " + path);
-  }
-  // One buffered write per cell: dump() pre-sizes the line, so the append
-  // is a single syscall-sized chunk instead of many small streamed pieces.
   std::string line = json::Value(std::move(o)).dump();
   line.push_back('\n');
-  os.write(line.data(), static_cast<std::streamsize>(line.size()));
+  progress_buffer_ += line;
+  // Crash-atomic checkpoint: rewrite the whole file through tmp + fsync +
+  // rename(2). A crash at any byte leaves either the previous complete
+  // checkpoint or this one — never the torn final line load_progress
+  // would otherwise have to drop.
+  try {
+    store::atomic_write_file(path, progress_buffer_);
+  } catch (const store::IoError& e) {
+    throw std::runtime_error("cannot write progress file: " +
+                             std::string(e.what()));
+  }
+}
+
+void Executor::store_append_cell(const RunResult& r) {
+  if (!store_writer_) return;
+  try {
+    store::CellRecord c;
+    c.kernel = r.kernel;
+    c.variant = to_string(r.variant);
+    c.tuning = r.tuning_name;
+    c.status = to_string(r.status);
+    c.time_per_rep_sec = r.time_per_rep_sec;
+    c.checksum = r.checksum;  // raw long-double bits round-trip in the store
+    c.problem_size = static_cast<std::int64_t>(r.problem_size);
+    c.reps = static_cast<std::int64_t>(r.reps);
+    c.attempts = static_cast<std::uint32_t>(r.attempts);
+    c.error = r.error;
+    store_writer_->add_cell(c);
+    store_writer_->commit();
+  } catch (const store::StoreError& e) {
+    // Losing durability must not lose the sweep: latch the store off,
+    // keep running, and surface the failure in the run summary.
+    store_error_ = e.what();
+    std::cerr << "warning: profile store disabled: " << e.what() << "\n";
+    store_writer_.reset();
+  }
+}
+
+std::map<std::string, std::string> Executor::store_config() const {
+  std::map<std::string, std::string> config;
+  config["suite"] = "rajaperf-repro";
+  config["size_factor"] = std::to_string(params_.size_factor);
+  if (params_.size_override) {
+    config["size"] = std::to_string(*params_.size_override);
+  }
+  config["reps_factor"] = std::to_string(params_.reps_factor);
+  config["npasses"] = std::to_string(params_.npasses);
+  config["tunings"] = params_.run_tunings ? "all" : "default";
+  config["isolate"] = to_string(params_.isolate);
+  config["workers"] = std::to_string(params_.workers);
+  auto join = [](const std::vector<std::string>& parts) {
+    std::string out;
+    for (const auto& p : parts) {
+      if (!out.empty()) out += ",";
+      out += p;
+    }
+    return out;
+  };
+  if (!params_.kernel_filter.empty()) {
+    config["kernels"] = join(params_.kernel_filter);
+  }
+  if (!params_.group_filter.empty()) {
+    std::vector<std::string> names;
+    for (GroupID g : params_.group_filter) names.push_back(to_string(g));
+    config["groups"] = join(names);
+  }
+  if (!params_.variant_filter.empty()) {
+    std::vector<std::string> names;
+    for (VariantID v : params_.variant_filter) names.push_back(to_string(v));
+    config["variants"] = join(names);
+  }
+  if (!params_.fault_spec.empty()) {
+    config["fault_spec"] = params_.fault_spec;
+    config["fault_seed"] = std::to_string(params_.fault_seed);
+  }
+  // --resume is deliberately excluded: a resumed sweep is the same
+  // logical run, so it content-addresses to the same run id.
+  return config;
 }
 
 std::map<std::string, RunResult> Executor::load_progress() const {
@@ -436,12 +508,34 @@ void Executor::run() {
     // Start a canonical checkpoint for this run; restored cells are
     // re-appended below, so the file always reflects the latest sweep.
     std::filesystem::create_directories(params_.output_dir);
+    progress_buffer_.clear();
     std::ofstream(progress_path(), std::ios::trunc);
     if (params_.resume) {
       // Crash history survives resume so quarantine sticks.
       crash_counts_ = load_crash_counts();
     } else if (std::filesystem::exists(crashes_path())) {
       std::filesystem::remove(crashes_path());
+    }
+  }
+
+  if (!params_.store_dir.empty()) {
+    // Open (and if needed recover) the profile store, then land the run
+    // under its content address. Store failures warn and disable — the
+    // sweep itself must survive a broken disk.
+    try {
+      store_writer_ =
+          std::make_unique<store::StoreWriter>(params_.store_dir);
+      if (store_writer_->recovery().quarantined_bytes > 0) {
+        std::cerr << "rperf-store: recovered torn journal tail ("
+                  << store_writer_->recovery().quarantined_bytes
+                  << " bytes quarantined to "
+                  << store_writer_->recovery().quarantine_file << ")\n";
+      }
+      store_run_id_ = store_writer_->begin_run(store_config());
+    } catch (const store::StoreError& e) {
+      store_error_ = e.what();
+      std::cerr << "warning: profile store disabled: " << e.what() << "\n";
+      store_writer_.reset();
     }
   }
 
@@ -571,6 +665,30 @@ void Executor::run() {
                          std::to_string(cache_stats.stored_bytes));
     for (const auto& [k, v] : params_.metadata) {
       channel.set_metadata(k, v);
+    }
+  }
+
+  if (store_writer_) {
+    // Land the per-variant profiles and the run's aggregate counters,
+    // then seal the journal into an immutable segment. After this the
+    // run is durable and queryable via rperf-report --store.
+    try {
+      for (const auto& [key, channel] : channels_) {
+        store_writer_->add_profile(to_string(key.first), key.second,
+                                   cali::to_profile(channel));
+      }
+      std::map<std::string, double> summary;
+      summary["wall_sec"] = run_wall_sec_;
+      summary["cells"] = static_cast<double>(results_.size());
+      summary["trace_overhead_pct"] = trace_overhead_pct_;
+      summary["fault_fires"] =
+          static_cast<double>(faults::injector().fires());
+      store_writer_->add_trace_summary(summary);
+      store_writer_->finish_run();
+    } catch (const store::StoreError& e) {
+      store_error_ = e.what();
+      std::cerr << "warning: profile store disabled: " << e.what() << "\n";
+      store_writer_.reset();
     }
   }
 }

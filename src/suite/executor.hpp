@@ -46,6 +46,7 @@
 #include "instrument/profile.hpp"
 #include "instrument/trace_sink.hpp"
 #include "sandbox/pool.hpp"
+#include "store/store.hpp"
 #include "suite/kernel_base.hpp"
 #include "suite/registry.hpp"
 #include "suite/run_params.hpp"
@@ -134,6 +135,22 @@ class Executor {
     return worker_traces_.size();
   }
 
+  // ----- profile store (RunParams::store_dir) -----
+  /// Content address of the run landed in the store ("" when --store is
+  /// off or the store failed before begin_run).
+  [[nodiscard]] const std::string& store_run_id() const {
+    return store_run_id_;
+  }
+  /// Cells durably committed to the store by the last run().
+  [[nodiscard]] std::size_t store_cells() const {
+    return store_writer_ ? store_writer_->cells_committed() : 0;
+  }
+  /// First store failure ("" when the store worked). The run itself
+  /// never fails because the store did: results still land in --outdir.
+  [[nodiscard]] const std::string& store_error() const {
+    return store_error_;
+  }
+
   // ----- worker pool (RunParams::workers > 0) -----
   /// Supervisor statistics of the last pooled run (zeroed otherwise).
   [[nodiscard]] const sandbox::PoolStats& pool_stats() const {
@@ -182,7 +199,13 @@ class Executor {
   /// Body executed inside a forked worker: stream hello / per-cell records /
   /// bye over `fd` for every cell in `batch` (sandbox/protocol.hpp).
   void worker_main(int fd, const std::vector<const Cell*>& batch);
-  void append_progress(const RunResult& r) const;
+  void append_progress(const RunResult& r);
+  /// Land one terminal cell in the profile store (no-op when off); a
+  /// StoreError latches the store disabled with a warning — durability
+  /// loss must not take down the sweep.
+  void store_append_cell(const RunResult& r);
+  /// The canonical config map the store content-addresses a run by.
+  [[nodiscard]] std::map<std::string, std::string> store_config() const;
   [[nodiscard]] std::map<std::string, RunResult> load_progress() const;
   /// Cumulative crash counts per cell key from crashes.jsonl (for the
   /// quarantine decision on --resume).
@@ -195,6 +218,13 @@ class Executor {
   std::map<std::pair<VariantID, std::string>, cali::Channel> channels_;
   std::vector<RunResult> results_;
   std::map<std::string, int> crash_counts_;
+  /// Full checkpoint contents, rewritten crash-atomically per cell
+  /// (tmp + fsync + rename) so the file on disk is always a complete
+  /// prefix of terminal cells — never a torn final line.
+  std::string progress_buffer_;
+  std::unique_ptr<store::StoreWriter> store_writer_;
+  std::string store_run_id_;
+  std::string store_error_;
   SandboxStats sandbox_stats_;
   sandbox::PoolStats pool_stats_;
   bool degraded_ = false;

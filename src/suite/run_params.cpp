@@ -72,6 +72,9 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
     } else if (arg == "--outdir") {
       p.output_dir = need_value(i, arg);
       ++i;
+    } else if (arg == "--store") {
+      p.store_dir = need_value(i, arg);
+      ++i;
     } else if (arg == "--trace") {
       p.trace = true;
       // Optional value: "--trace=PATH" (or "--trace PATH"); a following
@@ -181,6 +184,9 @@ std::string RunParams::usage() {
          "  --variants V,W    run only the named variants\n"
          "  --tunings         run every registered tuning per kernel\n"
          "  --outdir DIR      write one .cali.json profile per variant\n"
+         "  --store DIR       land the run in the crash-consistent .rps\n"
+         "                    profile store at DIR (journaled, torn-write\n"
+         "                    safe; query with rperf-report --store)\n"
          "  --trace[=PATH]    record a merged Chrome/Perfetto timeline of\n"
          "                    the whole sweep (all processes and threads)\n"
          "                    to PATH (default <outdir>/trace.json); open\n"

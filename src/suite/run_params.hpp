@@ -36,6 +36,9 @@ struct RunParams {
 
   /// Directory for .cali.json profiles; empty = don't write.
   std::string output_dir;
+  /// Crash-consistent profile store directory (rperf::store); every run
+  /// lands there as a journaled, content-addressed .rps run. Empty = off.
+  std::string store_dir;
   /// Record a merged Chrome/Perfetto timeline for the sweep (all processes
   /// and threads, including sandboxed workers). Enabled by --trace[=PATH].
   bool trace = false;

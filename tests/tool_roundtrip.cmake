@@ -20,3 +20,22 @@ foreach(needle "Stream_TRIAD" "Basic_DAXPY" "RAJA_OpenMP")
     message(FATAL_ERROR "report missing ${needle}:\n${out}")
   endif()
 endforeach()
+
+# A profile corrupted beyond repair (unparseable JSON) must map to the
+# documented exit 5 — distinct from exit 1 (read error) and exit 4
+# (crash records) — so CI can tell data loss from ordinary failures.
+file(GLOB profiles "${WORKDIR}/profiles/*.cali.json")
+list(GET profiles 0 victim)
+file(WRITE "${victim}" "{\"metadata\": {\"truncated mid-write")
+execute_process(
+  COMMAND "${REPORT}" "${WORKDIR}/profiles"
+  OUTPUT_VARIABLE out_corrupt
+  ERROR_VARIABLE err_corrupt
+  RESULT_VARIABLE rc_corrupt)
+if(NOT rc_corrupt EQUAL 5)
+  message(FATAL_ERROR
+    "corrupt profile: want exit 5, got ${rc_corrupt}:\n${out_corrupt}\n${err_corrupt}")
+endif()
+if(NOT err_corrupt MATCHES "corrupt profile data")
+  message(FATAL_ERROR "corrupt profile diagnostic missing:\n${err_corrupt}")
+endif()

@@ -1,0 +1,167 @@
+# The acceptance scenario for the crash-consistent profile store: a
+# pooled, sandboxed sweep lands in --store DIR, gets SIGKILLed mid-run,
+# and the reopened store must pass fsck with every committed cell intact
+# (recoverable torn tail at worst, never corrupt). A --resume re-run
+# lands cleanly on top, the query modes answer, and sealed-segment
+# damage maps to the documented exit-5 / --repair contract.
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(STORE "${WORKDIR}/store")
+
+# Phase 1: kill -9 mid-sweep. slow@* stretches the cells so the 2-second
+# SIGKILL from timeout(1) lands while results are streaming into the
+# journal. GNU timeout KILLs its own process group, so CMake reports the
+# death as "Subprocess killed" (some platforms surface 137 instead);
+# either way a clean exit 0 means the kill never landed.
+execute_process(
+  COMMAND timeout -s KILL 2
+          "${RAJAPERF}" --kernels Basic_DAXPY,Stream_TRIAD,Stream_ADD,Stream_COPY
+          --variants Base_Seq,Lambda_Seq,RAJA_Seq --size-factor 0.01
+          --workers 2 --npasses 2 --faults slow@*:500ms --fault-seed 7
+          --outdir "${WORKDIR}/out" --store "${STORE}"
+  OUTPUT_VARIABLE out1
+  RESULT_VARIABLE rc1)
+if(NOT (rc1 MATCHES "killed" OR rc1 EQUAL 137))
+  message(FATAL_ERROR "kill run: want a SIGKILL death, got ${rc1}:\n${out1}")
+endif()
+if(NOT EXISTS "${STORE}/journal.rps")
+  message(FATAL_ERROR "no journal written before the kill")
+endif()
+
+# Phase 2: the reopened store is never corrupt — clean (kill between
+# records) or recoverable (torn tail) only, with the committed cells
+# counted. Exit 5 here would mean the kill broke a sealed invariant.
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --fsck
+  OUTPUT_VARIABLE fsck1
+  RESULT_VARIABLE rcf1)
+if(NOT (rcf1 EQUAL 0 OR rcf1 EQUAL 4))
+  message(FATAL_ERROR "fsck after kill: want exit 0 or 4, got ${rcf1}:\n${fsck1}")
+endif()
+if(NOT fsck1 MATCHES "cells=([0-9]+)")
+  message(FATAL_ERROR "fsck printed no cell count:\n${fsck1}")
+endif()
+set(cells_after_kill ${CMAKE_MATCH_1})
+
+# --repair quarantines any torn tail (exit still reports the state it
+# found); the rescan must then be clean with the same committed cells.
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --fsck --repair
+  OUTPUT_VARIABLE repair1
+  RESULT_VARIABLE rcr1)
+if(NOT (rcr1 EQUAL 0 OR rcr1 EQUAL 4))
+  message(FATAL_ERROR "fsck --repair: want exit 0 or 4, got ${rcr1}:\n${repair1}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --fsck
+  OUTPUT_VARIABLE fsck2
+  RESULT_VARIABLE rcf2)
+if(NOT rcf2 EQUAL 0)
+  message(FATAL_ERROR "fsck after repair: want exit 0, got ${rcf2}:\n${fsck2}")
+endif()
+if(NOT fsck2 MATCHES "cells=${cells_after_kill}[^0-9]")
+  message(FATAL_ERROR
+    "repair lost committed cells (want ${cells_after_kill}):\n${fsck2}")
+endif()
+
+# Phase 3: --resume re-runs what the kill interrupted and lands the run
+# in the same store (a fresh content-addressed run: the fault spec is
+# part of the config). Zero committed cells may be lost.
+execute_process(
+  COMMAND "${RAJAPERF}" --kernels Basic_DAXPY,Stream_TRIAD,Stream_ADD,Stream_COPY
+          --variants Base_Seq,Lambda_Seq,RAJA_Seq --size-factor 0.01
+          --workers 2 --resume
+          --outdir "${WORKDIR}/out" --store "${STORE}"
+  OUTPUT_VARIABLE out2
+  RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "resume run: want exit 0, got ${rc2}:\n${out2}")
+endif()
+if(NOT out2 MATCHES "store: run ([0-9a-f]+) landed in")
+  message(FATAL_ERROR "resume run did not land in the store:\n${out2}")
+endif()
+set(resumed_run_id ${CMAKE_MATCH_1})
+
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --fsck
+  OUTPUT_VARIABLE fsck3
+  RESULT_VARIABLE rcf3)
+if(NOT rcf3 EQUAL 0)
+  message(FATAL_ERROR "final fsck: want exit 0, got ${rcf3}:\n${fsck3}")
+endif()
+if(NOT fsck3 MATCHES "cells=([0-9]+)")
+  message(FATAL_ERROR "final fsck printed no cell count:\n${fsck3}")
+endif()
+if(CMAKE_MATCH_1 LESS cells_after_kill)
+  message(FATAL_ERROR
+    "committed cells lost across kill+resume: ${cells_after_kill} -> "
+    "${CMAKE_MATCH_1}:\n${fsck3}")
+endif()
+if(NOT fsck3 MATCHES "complete=([1-9])")
+  message(FATAL_ERROR "no complete run after resume:\n${fsck3}")
+endif()
+
+# Phase 4: query modes. The list shows the runs; --run renders the
+# resumed run's cells by kernel.
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}"
+  OUTPUT_VARIABLE list_out
+  RESULT_VARIABLE rcl)
+if(NOT rcl EQUAL 0)
+  message(FATAL_ERROR "store list: want exit 0, got ${rcl}:\n${list_out}")
+endif()
+if(NOT list_out MATCHES "run\\(s\\) in")
+  message(FATAL_ERROR "store list missing summary line:\n${list_out}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --run "${resumed_run_id}"
+  OUTPUT_VARIABLE run_out
+  RESULT_VARIABLE rcq)
+if(NOT rcq EQUAL 0)
+  message(FATAL_ERROR "store --run: want exit 0, got ${rcq}:\n${run_out}")
+endif()
+if(NOT run_out MATCHES "Stream_TRIAD")
+  message(FATAL_ERROR "store --run shows no cells:\n${run_out}")
+endif()
+
+# Phase 5: damage inside a sealed segment is "beyond repair" — readers
+# and fsck must exit 5 (never misparse), and only --repair (quarantining
+# the segment) returns the store to health.
+file(GLOB segments "${STORE}/seg-*.rps")
+list(GET segments 0 victim)
+file(APPEND "${victim}" "TRAILING-GARBAGE-IN-A-SEALED-SEGMENT")
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}"
+  OUTPUT_VARIABLE corrupt_out
+  ERROR_VARIABLE corrupt_err
+  RESULT_VARIABLE rcc)
+if(NOT rcc EQUAL 5)
+  message(FATAL_ERROR
+    "corrupt segment read: want exit 5, got ${rcc}:\n${corrupt_out}\n${corrupt_err}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --fsck
+  OUTPUT_VARIABLE fsck4
+  RESULT_VARIABLE rcf4)
+if(NOT rcf4 EQUAL 5)
+  message(FATAL_ERROR "corrupt fsck: want exit 5, got ${rcf4}:\n${fsck4}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --fsck --repair
+  OUTPUT_VARIABLE repair2
+  RESULT_VARIABLE rcr2)
+if(NOT rcr2 EQUAL 5)
+  message(FATAL_ERROR
+    "corrupt fsck --repair: want exit 5 (state found), got ${rcr2}:\n${repair2}")
+endif()
+if(NOT EXISTS "${STORE}/quarantine")
+  message(FATAL_ERROR "repair quarantined nothing:\n${repair2}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --fsck
+  OUTPUT_VARIABLE fsck5
+  RESULT_VARIABLE rcf5)
+if(NOT rcf5 EQUAL 0)
+  message(FATAL_ERROR
+    "fsck after segment quarantine: want exit 0, got ${rcf5}:\n${fsck5}")
+endif()

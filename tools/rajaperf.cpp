@@ -185,6 +185,19 @@ int main(int argc, char** argv) {
                   params.output_dir.c_str(), exec.progress_path().c_str());
     }
 
+    // Profile-store landing summary (--store): where the run went and
+    // under which content address, or why durability was lost.
+    if (!params.store_dir.empty()) {
+      if (!exec.store_run_id().empty() && exec.store_error().empty()) {
+        std::printf("store: run %s landed in %s (%zu cells committed)\n",
+                    exec.store_run_id().c_str(), params.store_dir.c_str(),
+                    exec.store_cells());
+      } else {
+        std::printf("WARNING: store disabled: %s\n",
+                    exec.store_error().c_str());
+      }
+    }
+
     if (params.trace) {
       std::string trace_path = params.trace_path;
       if (trace_path.empty()) {

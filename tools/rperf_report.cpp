@@ -23,11 +23,20 @@
 // --flamegraph instead emits folded-stack lines ("proc;a;b usec") on
 // stdout for flamegraph.pl or speedscope.
 //
+// --store mode queries the crash-consistent .rps profile store written
+// by rajaperf --store: list runs (default), show one run (--run ID
+// [--top N]), cross-run diff by kernel (--diff ID1 ID2), and fsck
+// (--fsck [--repair]) which scans every segment and the journal,
+// reports, and optionally quarantines damage.
+//
 // Exit codes: 0 ok; 1 read/analysis error; 2 usage error; 3 regressions
 // flagged by --compare; 4 crash records present in DIR (summary printed —
 // the sweep "completed" only by containing worker crashes, so CI should
-// look at the crash summary rather than trust the tables alone);
+// look at the crash summary rather than trust the tables alone) or store
+// fsck found a recoverable torn journal tail; 5 store or profile corrupt
+// beyond repair (sealed segment damage, unparseable profile data);
 // 70 unknown (non-std::exception) error.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -36,10 +45,12 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/thicket.hpp"
 #include "instrument/json.hpp"
 #include "instrument/trace_export.hpp"
+#include "store/store.hpp"
 
 namespace {
 
@@ -170,6 +181,157 @@ int trace_mode(int argc, char** argv) {
   return 0;
 }
 
+/// --store DIR query modes against the crash-consistent .rps profile
+/// store: list runs (default), show one run (--run [--top N]), diff two
+/// runs by kernel (--diff), or scan/repair (--fsck [--repair]).
+int store_mode(int argc, char** argv) {
+  namespace store = rperf::store;
+  if (argc < 3) {
+    std::fprintf(stderr, "--store needs a store directory\n");
+    return 2;
+  }
+  const std::string dir = argv[2];
+  std::string run_prefix;
+  std::string diff_a;
+  std::string diff_b;
+  std::size_t top_n = 10;
+  bool show_run = false;
+  bool do_fsck = false;
+  bool repair = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
+      run_prefix = argv[++i];
+      show_run = true;
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::stoul(argv[++i]));
+      show_run = true;
+    } else if (std::strcmp(argv[i], "--diff") == 0 && i + 2 < argc) {
+      diff_a = argv[++i];
+      diff_b = argv[++i];
+    } else if (std::strcmp(argv[i], "--fsck") == 0) {
+      do_fsck = true;
+    } else if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
+    } else {
+      std::fprintf(stderr, "unknown --store option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (do_fsck) {
+    // Exit code is the state *found*: 0 clean, 4 recoverable (torn
+    // journal tail), 5 corrupt beyond repair (sealed segment damage).
+    // With --repair the damage is quarantined, so a rerun reports clean.
+    const store::FsckReport report = store::fsck(dir, repair);
+    const char* status = report.status == store::FsckStatus::Clean
+                             ? "clean"
+                             : report.status == store::FsckStatus::Recoverable
+                                   ? "recoverable"
+                                   : "corrupt";
+    std::printf("fsck %s: %s\n", dir.c_str(), status);
+    std::printf("  segments=%zu runs=%zu complete=%zu cells=%zu "
+                "tail_bytes=%llu\n",
+                report.segments, report.runs, report.complete_runs,
+                report.committed_cells,
+                static_cast<unsigned long long>(report.tail_bytes));
+    for (const auto& note : report.notes) {
+      std::printf("  %s\n", note.c_str());
+    }
+    if (report.repaired) std::printf("  repaired\n");
+    switch (report.status) {
+      case store::FsckStatus::Clean: return 0;
+      case store::FsckStatus::Recoverable: return 4;
+      case store::FsckStatus::Corrupt: return 5;
+    }
+    return 70;
+  }
+
+  const store::StoreReader reader(dir);
+  if (reader.journal_tail_bytes() > 0) {
+    std::fprintf(stderr,
+                 "warning: torn journal tail of %llu byte(s) (uncommitted; "
+                 "--fsck --repair quarantines it)\n",
+                 static_cast<unsigned long long>(
+                     reader.journal_tail_bytes()));
+  }
+
+  if (!diff_a.empty()) {
+    const store::StoredRun* a = reader.find(diff_a);
+    const store::StoredRun* b = reader.find(diff_b);
+    if (a == nullptr || b == nullptr) {
+      std::fprintf(stderr, "error: run %s not found in %s\n",
+                   (a == nullptr ? diff_a : diff_b).c_str(), dir.c_str());
+      return 1;
+    }
+    // Cross-run diff by (kernel, variant, tuning): passed cells only.
+    std::map<std::string, double> base;
+    for (const auto& c : a->cells) {
+      if (c.status == "Passed" && c.time_per_rep_sec > 0.0) {
+        base[c.kernel + "/" + c.variant + "/" + c.tuning] =
+            c.time_per_rep_sec;
+      }
+    }
+    std::printf("diff %s -> %s\n", a->run_id.c_str(), b->run_id.c_str());
+    std::printf("  %-52s %12s %12s %8s\n", "Cell", "base (s)", "cand (s)",
+                "ratio");
+    for (const auto& c : b->cells) {
+      if (c.status != "Passed" || c.time_per_rep_sec <= 0.0) continue;
+      const std::string key = c.kernel + "/" + c.variant + "/" + c.tuning;
+      const auto it = base.find(key);
+      if (it == base.end()) continue;
+      std::printf("  %-52s %12.3e %12.3e %8.3f\n", key.c_str(), it->second,
+                  c.time_per_rep_sec, c.time_per_rep_sec / it->second);
+    }
+    return 0;
+  }
+
+  if (show_run) {
+    const store::StoredRun* run = reader.find(run_prefix);
+    if (run == nullptr) {
+      std::fprintf(stderr, "error: run %s not found in %s\n",
+                   run_prefix.c_str(), dir.c_str());
+      return 1;
+    }
+    std::printf("run %s (%s, %zu cells, %zu profiles)\n",
+                run->run_id.c_str(),
+                run->complete ? "complete" : "incomplete",
+                run->cells.size(), run->profiles.size());
+    for (const auto& [key, value] : run->config) {
+      std::printf("  config %s=%s\n", key.c_str(), value.c_str());
+    }
+    for (const auto& [key, value] : run->trace_summary) {
+      std::printf("  summary %s=%g\n", key.c_str(), value);
+    }
+    std::vector<const store::CellRecord*> cells;
+    for (const auto& c : run->cells) {
+      if (c.status == "Passed" && c.time_per_rep_sec > 0.0) {
+        cells.push_back(&c);
+      }
+    }
+    std::sort(cells.begin(), cells.end(),
+              [](const store::CellRecord* x, const store::CellRecord* y) {
+                return x->time_per_rep_sec > y->time_per_rep_sec;
+              });
+    if (cells.size() > top_n) cells.resize(top_n);
+    std::printf("  top %zu cells by time per rep:\n", cells.size());
+    for (const auto* c : cells) {
+      std::printf("    %-50s %12.3e s\n",
+                  (c->kernel + "/" + c->variant + "/" + c->tuning).c_str(),
+                  c->time_per_rep_sec);
+    }
+    return 0;
+  }
+
+  std::printf("%zu run(s) in %s (%zu sealed segment(s))\n",
+              reader.runs().size(), dir.c_str(), reader.segment_count());
+  for (const auto& run : reader.runs()) {
+    std::printf("run %s complete=%s cells=%zu profiles=%zu file=%s\n",
+                run.run_id.c_str(), run.complete ? "yes" : "no",
+                run.cells.size(), run.profiles.size(), run.file.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,12 +342,19 @@ int main(int argc, char** argv) {
                  "[--stats NODE METRIC] [--groupby KEY]\n"
                  "       rperf-report --trace FILE [--top N] "
                  "[--flamegraph]\n"
+                 "       rperf-report --store DIR [--run ID] [--top N] "
+                 "[--diff ID1 ID2]\n"
+                 "       rperf-report --store DIR --fsck [--repair]\n"
                  "exit codes: 0 ok, 1 read error, 2 usage, 3 regressions,\n"
-                 "  4 crash records present in DIR, 70 unknown error\n");
+                 "  4 crash records present in DIR / store recoverable "
+                 "(torn journal tail),\n"
+                 "  5 store or profile corrupt beyond repair, "
+                 "70 unknown error\n");
     return 2;
   }
   try {
     if (std::strcmp(argv[1], "--trace") == 0) return trace_mode(argc, argv);
+    if (std::strcmp(argv[1], "--store") == 0) return store_mode(argc, argv);
     const auto tk = thicket::Thicket::from_directory(argv[1]);
     std::string metric = "time";
     std::string label = "variant";
@@ -288,6 +457,16 @@ int main(int argc, char** argv) {
     // code so CI notices a sweep that "completed" by containing crashes.
     if (print_crash_summary(argv[1])) return 4;
     return 0;
+  } catch (const store::CorruptError& e) {
+    // Beyond-repair damage gets its own documented exit code so CI can
+    // distinguish "store/profile destroyed" from a transient read error.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
+  } catch (const json::JsonError& e) {
+    // A profile that no longer parses is corrupt data, not a missing
+    // file: same beyond-repair contract as a damaged sealed segment.
+    std::fprintf(stderr, "error: corrupt profile data: %s\n", e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
