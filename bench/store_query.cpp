@@ -1,0 +1,309 @@
+// Query-engine benchmark for the .rps profile store (BENCH_sweep.json,
+// "store_query" section).
+//
+// Builds a synthetic ledger of --runs complete runs (one sealed,
+// footer-indexed segment each; --cells committed cells per run) through
+// the real StoreWriter, then measures the three claims the index makes:
+//
+//   point lookup   — StoreQuery with the index (manifest catalog + one
+//                    mmap'd segment) vs. --no-index (full-ledger decode)
+//                    answering the same --run query, median of 3. Gate:
+//                    the indexed lookup must win by >= 10x.
+//   cold scan      — full-ledger scan (StoreReader) at 4 threads vs. 1,
+//                    median of 3. Gate: >= 2x when the machine has >= 4
+//                    hardware threads (recorded but not gated below
+//                    that — CI containers are routinely 2-core).
+//   bit identity   — the run decoded via the indexed point lookup must
+//                    be byte-for-byte the run the full scan reassembles
+//                    (long-double checksum bits included), and both
+//                    paths must agree on the full run census. Gate:
+//                    always on; a mismatch is a correctness bug, not a
+//                    perf miss.
+//
+// Results land in --json (default BENCH_sweep.json) under "store_query",
+// merged into the existing document when one is present so the sweep
+// bench and this one share the file.
+//
+//   store_query [--runs N] [--cells N] [--json PATH] [--dir PATH]
+//               [--keep]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "instrument/json.hpp"
+#include "store/query.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+namespace json = rperf::json;
+namespace store = rperf::store;
+
+constexpr std::size_t kChecksumSigBytes =
+    sizeof(long double) >= 10 ? 10 : sizeof(long double);
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double median3(double a, double b, double c) {
+  double v[3] = {a, b, c};
+  std::sort(v, v + 3);
+  return v[1];
+}
+
+bool runs_bit_identical(const store::StoredRun& a, const store::StoredRun& b,
+                        std::string* why) {
+  auto fail = [why](const char* what) {
+    *why = what;
+    return false;
+  };
+  if (a.run_id != b.run_id) return fail("run_id");
+  if (a.config != b.config) return fail("config");
+  if (a.complete != b.complete) return fail("complete flag");
+  if (a.trace_summary != b.trace_summary) return fail("trace summary");
+  if (a.cells.size() != b.cells.size()) return fail("cell count");
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const store::CellRecord& x = a.cells[i];
+    const store::CellRecord& y = b.cells[i];
+    if (x.kernel != y.kernel || x.variant != y.variant ||
+        x.tuning != y.tuning || x.status != y.status ||
+        x.time_per_rep_sec != y.time_per_rep_sec ||
+        x.problem_size != y.problem_size || x.reps != y.reps ||
+        std::memcmp(&x.checksum, &y.checksum, kChecksumSigBytes) != 0) {
+      return fail("cell payload");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_runs = 1000;
+  std::size_t n_cells = 48;
+  std::string json_path = "BENCH_sweep.json";
+  std::string dir;
+  bool keep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      n_runs = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
+      n_cells = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--keep") == 0) {
+      keep = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: store_query [--runs N] [--cells N] "
+                   "[--json PATH] [--dir PATH] [--keep]\n");
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    dir = (fs::temp_directory_path() / "rperf_bench_store_query").string();
+  }
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // --- Build the synthetic ledger: one writer, n_runs seal cycles. ---
+  std::printf("store_query: building %zu-run ledger (%zu cells/run) in %s\n",
+              n_runs, n_cells, dir.c_str());
+  const auto build_start = Clock::now();
+  std::vector<std::string> run_ids;
+  run_ids.reserve(n_runs);
+  {
+    store::StoreWriter writer(dir);
+    for (std::size_t r = 0; r < n_runs; ++r) {
+      run_ids.push_back(writer.begin_run(
+          {{"suite", "store-query-bench"},
+           {"run", std::to_string(r)},
+           {"size_factor", "0.01"}}));
+      for (std::size_t i = 0; i < n_cells; ++i) {
+        store::CellRecord c;
+        c.kernel = "Kernel_" + std::to_string(i % 32);
+        c.variant = (i % 2) ? "RAJA_OpenMP" : "Base_Seq";
+        c.tuning = "default";
+        c.status = "Passed";
+        c.time_per_rep_sec =
+            1e-6 * static_cast<double>((r * n_cells + i) % 977 + 1);
+        c.checksum = (1.0L / 3.0L) * static_cast<long double>(r + i + 1);
+        c.problem_size = static_cast<std::int64_t>(1 << 16);
+        c.reps = 100;
+        writer.add_cell(c);
+        writer.commit();
+      }
+      // Two per-variant region profiles, like a real sweep lands: the
+      // heaviest payloads in the ledger, and exactly the bytes an
+      // indexed point lookup never has to decode for *other* runs.
+      for (const char* variant : {"Base_Seq", "RAJA_OpenMP"}) {
+        rperf::cali::Profile profile;
+        profile.metadata["suite"] = "store-query-bench";
+        profile.metadata["run"] = std::to_string(r);
+        for (std::size_t i = 0; i < n_cells; ++i) {
+          rperf::cali::ProfileNode node;
+          node.name = "Kernel_" + std::to_string(i % 32);
+          node.time_sec = 1e-3 * static_cast<double>(i + 1);
+          node.visit_count = 100;
+          node.metrics = {{"flops", 1e9}, {"bytes", 4e9}, {"reps", 100.0}};
+          profile.roots.push_back(std::move(node));
+        }
+        writer.add_profile(variant, "default", profile);
+      }
+      writer.add_trace_summary(
+          {{"wall_sec", 0.01 * static_cast<double>(r % 7)},
+           {"cells", static_cast<double>(n_cells)}});
+      writer.finish_run();
+    }
+  }
+  const double build_sec = seconds_since(build_start);
+  std::printf("  built in %.2f s (%zu sealed segments)\n", build_sec, n_runs);
+
+  // The lookup target sits mid-ledger so neither path gets an
+  // early-exit advantage from scanning in either direction.
+  const std::string& target = run_ids[run_ids.size() / 2];
+
+  // --- Point lookup: indexed vs. full-scan fallback, median of 3. ---
+  double indexed_s[3];
+  double scan_s[3];
+  store::StoredRun via_index;
+  store::StoredRun via_scan;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto start = Clock::now();
+    store::StoreQuery q(dir);
+    auto run = q.run(target);
+    indexed_s[rep] = seconds_since(start);
+    if (!run || !q.warnings().empty()) {
+      std::fprintf(stderr, "FAIL: indexed lookup degraded (%s)\n",
+                   q.warnings().empty() ? "run missing"
+                                        : q.warnings()[0].c_str());
+      return 1;
+    }
+    via_index = *run;
+
+    start = Clock::now();
+    store::QueryOptions no_index;
+    no_index.use_index = false;
+    store::StoreQuery full(dir, no_index);
+    auto scanned = full.run(target);
+    scan_s[rep] = seconds_since(start);
+    if (!scanned) {
+      std::fprintf(stderr, "FAIL: full-scan lookup missed the run\n");
+      return 1;
+    }
+    via_scan = *scanned;
+  }
+  const double indexed_sec = median3(indexed_s[0], indexed_s[1], indexed_s[2]);
+  const double scan_sec = median3(scan_s[0], scan_s[1], scan_s[2]);
+  const double lookup_speedup = scan_sec / indexed_sec;
+  std::printf("  point lookup: indexed %.2f ms, full scan %.2f ms "
+              "(%.1fx)\n",
+              indexed_sec * 1e3, scan_sec * 1e3, lookup_speedup);
+
+  // --- Bit identity between the two paths. ---
+  std::string why;
+  if (!runs_bit_identical(via_index, via_scan, &why)) {
+    std::fprintf(stderr, "FAIL: indexed and scanned runs differ (%s)\n",
+                 why.c_str());
+    return 1;
+  }
+  {
+    store::StoreQuery a(dir);
+    store::QueryOptions no_index;
+    no_index.use_index = false;
+    store::StoreQuery b(dir, no_index);
+    if (a.catalog().size() != n_runs || b.catalog().size() != n_runs) {
+      std::fprintf(stderr, "FAIL: run census disagrees (%zu vs %zu vs %zu)\n",
+                   a.catalog().size(), b.catalog().size(), n_runs);
+      return 1;
+    }
+  }
+  std::printf("  bit identity: indexed and scan paths agree\n");
+
+  // --- Cold scan: 4 threads vs. 1, median of 3. ---
+  double one_s[3];
+  double four_s[3];
+  std::size_t census = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto start = Clock::now();
+    const store::StoreReader serial(dir, 1);
+    one_s[rep] = seconds_since(start);
+    start = Clock::now();
+    const store::StoreReader parallel(dir, 4);
+    four_s[rep] = seconds_since(start);
+    if (serial.runs().size() != parallel.runs().size()) {
+      std::fprintf(stderr, "FAIL: parallel scan changed the run census\n");
+      return 1;
+    }
+    census = parallel.runs().size();
+  }
+  const double one_sec = median3(one_s[0], one_s[1], one_s[2]);
+  const double four_sec = median3(four_s[0], four_s[1], four_s[2]);
+  const double scan_speedup = one_sec / four_sec;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("  cold scan (%zu runs): 1 thread %.2f ms, 4 threads %.2f ms "
+              "(%.2fx, %u hw threads)\n",
+              census, one_sec * 1e3, four_sec * 1e3, scan_speedup, hw);
+
+  // --- Record (merge into the sweep bench's document when present). ---
+  json::Object doc;
+  {
+    std::ifstream in(json_path);
+    if (in) {
+      try {
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        json::Value existing = json::Value::parse(text);
+        if (existing.is_object()) doc = std::move(existing.as_object());
+      } catch (const json::JsonError&) {
+        // Unparseable prior document: start fresh rather than fail.
+      }
+    }
+  }
+  json::Object sq;
+  sq["runs"] = static_cast<std::int64_t>(n_runs);
+  sq["cells_per_run"] = static_cast<std::int64_t>(n_cells);
+  sq["build_sec"] = build_sec;
+  sq["point_lookup_indexed_sec"] = indexed_sec;
+  sq["point_lookup_scan_sec"] = scan_sec;
+  sq["point_lookup_speedup"] = lookup_speedup;
+  sq["cold_scan_1t_sec"] = one_sec;
+  sq["cold_scan_4t_sec"] = four_sec;
+  sq["cold_scan_speedup"] = scan_speedup;
+  sq["hardware_threads"] = static_cast<std::int64_t>(hw);
+  sq["bit_identical"] = true;
+  doc["store_query"] = std::move(sq);
+  std::ofstream os(json_path);
+  os << json::Value(std::move(doc)).dump(2) << '\n';
+  std::printf("  wrote %s\n", json_path.c_str());
+
+  if (!keep) fs::remove_all(dir);
+
+  // --- Gates. ---
+  if (lookup_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: indexed point lookup %.1fx over full scan, below "
+                 "the 10x floor\n",
+                 lookup_speedup);
+    return 1;
+  }
+  if (hw >= 4 && scan_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: 4-thread cold scan %.2fx over 1 thread, below the "
+                 "2x floor (%u hw threads)\n",
+                 scan_speedup, hw);
+    return 1;
+  }
+  return 0;
+}

@@ -33,10 +33,11 @@ FaultKind kind_from_string(const std::string& s) {
   if (s == "enospc") return FaultKind::Enospc;
   if (s == "fsyncfail") return FaultKind::FsyncFail;
   if (s == "tornseg") return FaultKind::TornSeg;
+  if (s == "idxcorrupt") return FaultKind::IndexCorrupt;
   throw std::invalid_argument(
       "faults: unknown fault kind '" + s +
       "' (want alloc|throw|slow|corrupt|segv|abort|oom|hang|hbdrop|"
-      "protocorrupt|shortwrite|enospc|fsyncfail|tornseg)");
+      "protocorrupt|shortwrite|enospc|fsyncfail|tornseg|idxcorrupt)");
 }
 
 /// Exhaust memory the way a runaway kernel would: allocate and touch
@@ -128,6 +129,7 @@ std::string to_string(FaultKind k) {
     case FaultKind::Enospc: return "enospc";
     case FaultKind::FsyncFail: return "fsyncfail";
     case FaultKind::TornSeg: return "tornseg";
+    case FaultKind::IndexCorrupt: return "idxcorrupt";
   }
   return "?";
 }
@@ -273,7 +275,8 @@ bool Injector::fire_wire_fault(FaultKind kind, const std::string& kernel) {
 
 bool Injector::fire_io_fault(FaultKind kind, const std::string& target) {
   if (kind != FaultKind::ShortWrite && kind != FaultKind::Enospc &&
-      kind != FaultKind::FsyncFail && kind != FaultKind::TornSeg) {
+      kind != FaultKind::FsyncFail && kind != FaultKind::TornSeg &&
+      kind != FaultKind::IndexCorrupt) {
     return false;
   }
   for (auto& spec : specs_) {

@@ -16,10 +16,11 @@
 //           | 'segv' | 'abort' | 'oom' | 'hang'
 //           | 'hbdrop' | 'protocorrupt'   (worker-pool wire faults)
 //           | 'shortwrite' | 'enospc' | 'fsyncfail' | 'tornseg'
-//                                          (profile-store I/O faults)
+//           | 'idxcorrupt'                 (profile-store I/O faults)
 //   kernel := full kernel name (e.g. Stream_TRIAD) or '*' for any;
 //             for the I/O kinds this position names the store file class
-//             being written ('journal' or 'segment') instead of a kernel
+//             being written ('journal', 'segment', or — for idxcorrupt —
+//             'index') instead of a kernel
 //   arg    := COUNT        fire at most COUNT times, then disarm
 //                          (alloc/throw/corrupt; default: unlimited)
 //           | DELAY 'ms'   slow: injected delay per measurement pass
@@ -81,6 +82,13 @@ enum class FaultKind {
   Enospc,
   FsyncFail,
   TornSeg,
+  // 'idxcorrupt' (target class "index") scribbles a byte inside the
+  // footer index of the segment being sealed and leaves the manifest
+  // stale. The *records* stay intact, so this must never surface as an
+  // error: readers are required to detect the damaged index, warn, and
+  // fall back to a full scan (the index fail-open contract). Not
+  // process-fatal; the seal itself succeeds.
+  IndexCorrupt,
 };
 
 /// True for kinds that terminate or wedge the executing process.

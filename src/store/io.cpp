@@ -1,6 +1,7 @@
 #include "store/io.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -103,6 +104,38 @@ void AppendFile::close_quiet() noexcept {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void MappedFile::map(const std::string& path) {
+  unmap();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open", path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("fstat", path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* base = nullptr;
+  if (size > 0) {
+    base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      throw_errno("mmap", path);
+    }
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+  base_ = base;
+  size_ = size;
+  path_ = path;
+}
+
+void MappedFile::unmap() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    base_ = nullptr;
+  }
+  size_ = 0;
 }
 
 void fsync_dir(const std::string& dir) {

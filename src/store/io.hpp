@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace rperf::store {
 
@@ -70,6 +71,48 @@ class AppendFile {
   int fd_ = -1;
   std::string path_;
   std::string target_class_;
+};
+
+/// Read-only memory map of a whole file. The view is valid for the
+/// lifetime of the object; readers decode records directly from it
+/// (zero copy — no read()+copy of segments that a query only needs a
+/// few frames of). An empty file maps to an empty view.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  explicit MappedFile(const std::string& path) { map(path); }
+  ~MappedFile() { unmap(); }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      base_ = other.base_;
+      size_ = other.size_;
+      path_ = std::move(other.path_);
+      other.base_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  /// Map `path` read-only; throws IoError when it cannot be opened or
+  /// mapped. Replaces any previous mapping.
+  void map(const std::string& path);
+  void unmap() noexcept;
+  [[nodiscard]] bool is_mapped() const { return base_ != nullptr; }
+  [[nodiscard]] std::string_view view() const {
+    return base_ == nullptr
+               ? std::string_view{}
+               : std::string_view{static_cast<const char*>(base_), size_};
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
 };
 
 /// fsync a directory so a rename/create inside it is durable.

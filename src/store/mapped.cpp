@@ -1,0 +1,58 @@
+#include "store/mapped.hpp"
+
+#include <utility>
+
+namespace rperf::store {
+
+MappedSegment::MappedSegment(const std::string& path, std::string name)
+    : map_(path), name_(std::move(name)) {
+  footer_ = probe_footer(map_.view());
+}
+
+std::optional<StoredRun> MappedSegment::read_run(const FooterRun& entry,
+                                                 std::string* why) const {
+  auto fail = [why](std::string what) {
+    if (why != nullptr) *why = std::move(what);
+    return std::nullopt;
+  };
+  if (footer_.status != FooterProbe::Status::Valid) {
+    return fail("no valid footer");
+  }
+  const std::string_view data = map_.view();
+  const std::size_t end = footer_.records_end;
+  if (entry.min_seq == 0 || entry.max_seq < entry.min_seq) {
+    return fail("footer entry has an implausible seq range");
+  }
+  if (entry.first_offset < kHeaderBytes || entry.first_offset >= end) {
+    return fail("footer entry offset is outside the records region");
+  }
+  // Decode from the run's first frame, stopping right after its final
+  // committed marker — frames of other runs are never touched.
+  RecordsScan rec = scan_records(data, entry.first_offset, end,
+                                 entry.min_seq - 1, name_, entry.max_seq);
+  if (!rec.clean) {
+    return fail("record decode stopped: " +
+                (rec.why.empty() ? std::string("unknown") : rec.why));
+  }
+  if (rec.runs.size() != 1) {
+    return fail("expected exactly one run at the footer offset, got " +
+                std::to_string(rec.runs.size()));
+  }
+  const RunIndexInfo& got = rec.index[0];
+  if (rec.runs[0].run_id != entry.run_id ||
+      got.entry.min_seq != entry.min_seq ||
+      got.entry.max_seq != entry.max_seq ||
+      got.entry.cells != entry.cells ||
+      got.entry.profiles != entry.profiles ||
+      got.entry.summaries != entry.summaries ||
+      got.entry.complete != entry.complete) {
+    return fail("decoded run does not match the footer's claims");
+  }
+  return std::move(rec.runs[0]);
+}
+
+SegmentScan MappedSegment::scan_all() const {
+  return scan_segment_image(map_.view(), name_);
+}
+
+}  // namespace rperf::store

@@ -1,0 +1,50 @@
+// MappedSegment — zero-copy reader for one sealed .rps segment.
+//
+// The segment is mmap'd read-only and records are decoded directly from
+// the mapping (CRC verified per touched frame, exactly like the
+// streaming scan). The footer is probed once at map time; a point
+// lookup then seeks straight to a run's first frame via its footer
+// directory entry and decodes only that run's records — the footer's
+// claims (run id, seq range, record counts) are verified against what
+// was actually decoded, so a lying index can redirect a query only into
+// a detectable mismatch, never into silently wrong results.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "store/index.hpp"
+#include "store/io.hpp"
+#include "store/scan.hpp"
+#include "store/store.hpp"
+
+namespace rperf::store {
+
+class MappedSegment {
+ public:
+  /// Map DIR-relative segment `name` at `path`; throws IoError when the
+  /// file cannot be mapped. The footer probe never throws.
+  MappedSegment(const std::string& path, std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string_view data() const { return map_.view(); }
+  [[nodiscard]] const FooterProbe& footer() const { return footer_; }
+
+  /// Point lookup: decode exactly the run `entry` describes, touching
+  /// only its frames. Returns nullopt (with `why`) when the footer's
+  /// claims do not survive verification against the decoded records —
+  /// the caller falls back to a full scan (index fail-open).
+  [[nodiscard]] std::optional<StoredRun> read_run(const FooterRun& entry,
+                                                  std::string* why) const;
+
+  /// Full decode of the records region (the fallback path).
+  [[nodiscard]] SegmentScan scan_all() const;
+
+ private:
+  MappedFile map_;
+  std::string name_;
+  FooterProbe footer_;
+};
+
+}  // namespace rperf::store

@@ -13,8 +13,10 @@
 
 #include "faults/injector.hpp"
 #include "instrument/wire_codec.hpp"
-#include "sandbox/protocol.hpp"
 #include "sandbox/wire.hpp"
+#include "store/index.hpp"
+#include "store/scan.hpp"
+#include "util/crc32.hpp"
 
 namespace rperf::store {
 
@@ -22,329 +24,33 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::size_t kHeaderBytes = sizeof(kFileMagic);
-constexpr std::size_t kFrameBytes = 12;  // magic + len + crc
-constexpr std::size_t kMinBody = 9;      // seq + type
-
-std::uint32_t load_u32(const char* p) {
-  std::uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
-
-std::uint64_t load_u64(const char* p) {
-  std::uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-
-// Flip one bit in the middle of `path` — the tornseg@segment fault's
-// simulated media damage to a sealed, immutable file.
-void scribble_byte(const std::string& path) {
+// Flip one bit at `at` in `path` — simulated media damage.
+void scribble_at(const std::string& path, std::uint64_t at) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
   if (fd < 0) return;
-  const off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size > static_cast<off_t>(kHeaderBytes)) {
-    const off_t at = kHeaderBytes + (size - kHeaderBytes) / 2;
-    char b = 0;
-    if (::pread(fd, &b, 1, at) == 1) {
-      b ^= 0x40;
-      (void)::pwrite(fd, &b, 1, at);
-    }
+  char b = 0;
+  if (::pread(fd, &b, 1, static_cast<off_t>(at)) == 1) {
+    b ^= 0x40;
+    (void)::pwrite(fd, &b, 1, static_cast<off_t>(at));
   }
   ::close(fd);
 }
 
-// ---------------------------------------------------------------------------
-// Scanning: the one reassembly routine shared by writer recovery, the
-// reader, and fsck, so all three agree byte-for-byte on what "committed"
-// means.
-
-/// A decoded-but-uncommitted record, parked until a valid marker.
-struct PendingOp {
-  RecordType type = RecordType::RunHeader;
-  StoredRun run;            // RunHeader
-  CellRecord cell;          // CellResult
-  StoredProfile profile;    // ProfileRegion
-  std::map<std::string, double> summary;  // TraceSummary
-};
-
-struct ScanState {
-  std::vector<StoredRun> runs;
-  std::vector<PendingOp> pending;
-  int open_run = -1;              ///< index into runs, -1 = none open
-  std::uint64_t last_seq = 0;     ///< seq of last structurally valid record
-  std::uint64_t committed_seq = 0;  ///< seq of last *applied* marker
-  std::size_t committed_cells = 0;
-};
-
-struct FileScan {
-  std::uint64_t committed_end = 0;  ///< bytes that are committed state
-  bool clean = false;               ///< every byte accounted for
-  std::string why;                  ///< first problem (clean => empty)
-};
-
-/// Run id the next marker must name: a pending header wins over the
-/// open committed run.
-const std::string* current_run_id(const ScanState& st) {
-  for (auto it = st.pending.rbegin(); it != st.pending.rend(); ++it) {
-    if (it->type == RecordType::RunHeader) return &it->run.run_id;
+// The tornseg@segment fault: flip a bit in the middle of the *records*
+// region of a sealed file (damage to committed data, which must read as
+// beyond-repair corruption — never in the footer, whose damage is the
+// separate, fail-open idxcorrupt fault).
+void scribble_records(const std::string& path, std::uint64_t records_end) {
+  if (records_end > kHeaderBytes) {
+    scribble_at(path, kHeaderBytes + (records_end - kHeaderBytes) / 2);
   }
-  if (st.open_run >= 0) return &st.runs[st.open_run].run_id;
-  return nullptr;
 }
 
-/// Decode one record body into the pending list / apply a marker.
-/// Returns false (with `why`) when the record is invalid — the scan
-/// stops there, fail closed.
-bool consume_record(ScanState& st, RecordType type, const std::string& payload,
-                    std::uint64_t seq, const std::string& file,
-                    std::string& why) {
-  try {
-    switch (type) {
-      case RecordType::RunHeader: {
-        wire::Reader r(payload);
-        PendingOp op;
-        op.type = type;
-        op.run.run_id = r.get_bytes();
-        const std::uint32_t n = r.get_u32();
-        r.check_count(n, 8);
-        for (std::uint32_t i = 0; i < n; ++i) {
-          const std::string key = r.get_bytes();
-          op.run.config[key] = r.get_bytes();
-        }
-        if (op.run.run_id != run_config_id(op.run.config)) {
-          why = "run id does not match its config hash";
-          return false;
-        }
-        op.run.file = file;
-        st.pending.push_back(std::move(op));
-        return true;
-      }
-      case RecordType::CellResult:
-      case RecordType::ProfileRegion:
-      case RecordType::TraceSummary: {
-        if (current_run_id(st) == nullptr) {
-          why = "data record outside any run";
-          return false;
-        }
-        PendingOp op;
-        op.type = type;
-        if (type == RecordType::CellResult) {
-          op.cell = decode_cell_payload(payload);
-        } else if (type == RecordType::ProfileRegion) {
-          wire::Reader r(payload);
-          op.profile.variant = r.get_bytes();
-          op.profile.tuning = r.get_bytes();
-          op.profile.profile = cali::profile_from_wire(r);
-        } else {
-          wire::Reader r(payload);
-          const std::uint32_t n = r.get_u32();
-          r.check_count(n, 12);
-          for (std::uint32_t i = 0; i < n; ++i) {
-            const std::string key = r.get_bytes();
-            op.summary[key] = r.get_f64();
-          }
-        }
-        st.pending.push_back(std::move(op));
-        return true;
-      }
-      case RecordType::CommitMarker: {
-        wire::Reader r(payload);
-        const std::uint64_t covers = r.get_u64();
-        const bool final_marker = r.get_u8() != 0;
-        const std::string marker_run = r.get_bytes();
-        // A marker commits nothing unless it provably belongs exactly
-        // here: it must cover its immediate predecessor and name the
-        // run that is actually open. A stale or relocated marker (torn
-        // write, replayed bytes) fails one of these and the scan stops
-        // — fail closed, the tail is quarantined, not trusted.
-        if (covers + 1 != seq) {
-          why = "commit marker covers_seq does not match its predecessor";
-          return false;
-        }
-        const std::string* open_id = current_run_id(st);
-        if (open_id == nullptr || *open_id != marker_run) {
-          why = "commit marker names a run that is not open";
-          return false;
-        }
-        for (auto& op : st.pending) {
-          switch (op.type) {
-            case RecordType::RunHeader:
-              st.runs.push_back(std::move(op.run));
-              st.open_run = static_cast<int>(st.runs.size()) - 1;
-              break;
-            case RecordType::CellResult:
-              st.runs[st.open_run].cells.push_back(std::move(op.cell));
-              ++st.committed_cells;
-              break;
-            case RecordType::ProfileRegion:
-              st.runs[st.open_run].profiles.push_back(std::move(op.profile));
-              break;
-            case RecordType::TraceSummary:
-              st.runs[st.open_run].trace_summary = std::move(op.summary);
-              break;
-            case RecordType::CommitMarker:
-              break;  // never pending
-          }
-        }
-        st.pending.clear();
-        if (final_marker && st.open_run >= 0) {
-          st.runs[st.open_run].complete = true;
-          st.open_run = -1;
-        }
-        st.committed_seq = seq;
-        return true;
-      }
-    }
-  } catch (const std::exception& e) {
-    why = std::string("payload decode failed: ") + e.what();
-    return false;
-  }
-  why = "unknown record type " +
-        std::to_string(static_cast<unsigned>(type));
-  return false;
-}
-
-/// Scan one store file. Committed state advances only at valid commit
-/// markers; everything after the last one is tail. Any structural
-/// violation — bad magic, bad length, CRC mismatch, sequence break,
-/// undecodable payload, orphan marker — stops the scan at that point.
-FileScan scan_file(const std::string& data, const std::string& file,
-                   ScanState& st) {
-  FileScan out;
-  if (data.size() < kHeaderBytes ||
-      std::memcmp(data.data(), kFileMagic, kHeaderBytes) != 0) {
-    out.why = "bad file header";
-    return out;
-  }
-  std::size_t pos = kHeaderBytes;
-  out.committed_end = kHeaderBytes;
-  bool first_in_file = true;
-  while (pos < data.size()) {
-    if (data.size() - pos < kFrameBytes) {
-      out.why = "truncated frame header";
-      break;
-    }
-    if (load_u32(data.data() + pos) != kRecordMagic) {
-      out.why = "bad record magic";
-      break;
-    }
-    const std::uint32_t len = load_u32(data.data() + pos + 4);
-    if (len < kMinBody || len > kMaxRecordBody) {
-      out.why = "implausible record length";
-      break;
-    }
-    if (data.size() - pos - kFrameBytes < len) {
-      out.why = "truncated record body";
-      break;
-    }
-    const char* body = data.data() + pos + kFrameBytes;
-    if (sandbox::crc32(body, len) != load_u32(data.data() + pos + 8)) {
-      out.why = "record crc mismatch";
-      break;
-    }
-    const std::uint64_t seq = load_u64(body);
-    // Within a file seqs step by exactly 1; across files they may only
-    // jump forward (lets fsck drop a quarantined segment without
-    // invalidating its successors). Duplicate or regressing seqs are
-    // corruption even when the CRC checks out (replayed bytes).
-    if (first_in_file ? seq <= st.last_seq : seq != st.last_seq + 1) {
-      out.why = "sequence violation";
-      break;
-    }
-    const auto type = static_cast<RecordType>(
-        static_cast<unsigned char>(body[8]));
-    const std::string payload(body + kMinBody, len - kMinBody);
-    std::string why;
-    if (!consume_record(st, type, payload, seq, file, why)) {
-      out.why = why;
-      break;
-    }
-    st.last_seq = seq;
-    first_in_file = false;
-    pos += kFrameBytes + len;
-    if (type == RecordType::CommitMarker) out.committed_end = pos;
-  }
-  if (out.why.empty() &&
-      (out.committed_end != data.size() || !st.pending.empty())) {
-    out.why = "uncommitted trailing records";
-  }
-  out.clean = out.why.empty();
-  // Tail records (valid-but-uncommitted or garbage) are discarded: the
-  // next file — and a resuming writer — continue from the committed
-  // point, not from whatever the torn tail reached.
-  st.pending.clear();
-  st.last_seq = st.committed_seq;
-  // A run left open in this file can never be continued in another
-  // (runs never span a seal), so close it for strictness.
-  st.open_run = -1;
-  return out;
-}
-
-struct ScanOutcome {
-  ScanState state;
-  std::size_t segments = 0;
-  bool any_files = false;
-  bool journal_exists = false;
-  std::uint64_t journal_size = 0;
-  std::uint64_t journal_committed_end = 0;  ///< truncation target
-  std::string journal_why;                  ///< tail cause (maybe empty)
-  std::vector<std::string> damaged_segments;        ///< paths
-  std::vector<std::string> segment_problems;        ///< "file: why"
-  std::uint64_t max_segment_index = 0;
-};
-
-[[nodiscard]] std::uint64_t tail_bytes_of(const ScanOutcome& o) {
-  return o.journal_exists && o.journal_size > o.journal_committed_end
-             ? o.journal_size - o.journal_committed_end
-             : 0;
-}
-
-ScanOutcome scan_store(const std::string& dir) {
-  ScanOutcome out;
-  std::vector<std::string> segments;
-  if (fs::is_directory(dir)) {
-    for (const auto& entry : fs::directory_iterator(dir)) {
-      const std::string name = entry.path().filename().string();
-      if (name.rfind("seg-", 0) == 0 && name.size() > 8 &&
-          name.substr(name.size() - 4) == ".rps") {
-        segments.push_back(entry.path().string());
-        const std::uint64_t idx =
-            std::strtoull(name.c_str() + 4, nullptr, 10);
-        out.max_segment_index = std::max(out.max_segment_index, idx);
-      }
-    }
-  }
-  std::sort(segments.begin(), segments.end());
-  out.segments = segments.size();
-  for (const auto& seg : segments) {
-    out.any_files = true;
-    const std::string data = read_file(seg);
-    const FileScan scan = scan_file(data, fs::path(seg).filename(),
-                                    out.state);
-    if (!scan.clean) {
-      out.damaged_segments.push_back(seg);
-      out.segment_problems.push_back(
-          fs::path(seg).filename().string() + ": " +
-          (scan.why.empty() ? "uncommitted trailing records" : scan.why));
-    }
-  }
-  const std::string journal = dir + "/journal.rps";
-  if (fs::exists(journal)) {
-    out.any_files = true;
-    out.journal_exists = true;
-    const std::string data = read_file(journal);
-    out.journal_size = data.size();
-    if (data.empty()) {
-      // Created but never written: fine, the writer headers it.
-      out.journal_committed_end = 0;
-    } else {
-      const FileScan scan =
-          scan_file(data, "journal.rps", out.state);
-      out.journal_committed_end = scan.committed_end;
-      out.journal_why = scan.why;
-    }
+std::string joined_problems(const std::vector<std::string>& problems) {
+  std::string out;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    if (i) out += "; ";
+    out += problems[i];
   }
   return out;
 }
@@ -367,6 +73,77 @@ std::string quarantine_tail(const std::string& dir, const std::string& tail) {
   const std::string path = qdir + "/" + buf;
   atomic_write_file(path, tail);
   return path;
+}
+
+/// Fold the just-sealed segment's footer into MANIFEST.rps. The manifest
+/// is a pure cache, so nothing here may fail the seal: any error is
+/// recorded in `info` and the next seal (or fsck --repair) catches up.
+void update_manifest_at_seal(const std::string& dir, const std::string& name,
+                             const SegmentFooter& footer, SealInfo& info) {
+  try {
+    std::string why;
+    Manifest m = load_manifest(dir, &why).value_or(Manifest{});
+    const auto gone = std::remove_if(
+        m.segments.begin(), m.segments.end(),
+        [&](const ManifestSegment& s) {
+          return s.name == name || !fs::exists(dir + "/" + s.name);
+        });
+    m.segments.erase(gone, m.segments.end());
+    ManifestSegment seg;
+    seg.name = name;
+    seg.file_size = fs::file_size(dir + "/" + name);
+    seg.last_seq = footer.last_seq();
+    seg.runs = footer.runs;
+    seg.kernels = footer.kernels;
+    m.segments.push_back(std::move(seg));
+    std::sort(m.segments.begin(), m.segments.end(),
+              [](const ManifestSegment& a, const ManifestSegment& b) {
+                return a.name < b.name;
+              });
+    save_manifest(dir, m);
+    info.manifest_ok = true;
+    info.manifest_runs = 0;
+    for (const auto& s : m.segments) info.manifest_runs += s.runs.size();
+  } catch (const std::exception& e) {
+    info.manifest_ok = false;
+    if (info.index_error.empty()) {
+      info.index_error = std::string("manifest update failed: ") + e.what();
+    }
+  }
+}
+
+/// First contradiction between a CRC-valid footer and the full record
+/// decode, empty when they agree. The footer is built from the same scan
+/// core, so any disagreement means the bytes changed after sealing —
+/// real corruption, not a version skew.
+std::string footer_mismatch(const SegmentScan& seg) {
+  const SegmentFooter& f = seg.footer.footer;
+  if (f.runs.size() != seg.rec.index.size()) {
+    return "footer lists " + std::to_string(f.runs.size()) +
+           " run(s) but records hold " + std::to_string(seg.rec.index.size());
+  }
+  for (std::size_t i = 0; i < f.runs.size(); ++i) {
+    const FooterRun& a = f.runs[i];
+    const FooterRun& b = seg.rec.index[i].entry;
+    if (a.run_id != b.run_id) {
+      return "run " + std::to_string(i) + " id " + a.run_id +
+             " != " + b.run_id;
+    }
+    if (a.first_offset != b.first_offset || a.min_seq != b.min_seq ||
+        a.max_seq != b.max_seq) {
+      return "run " + a.run_id + " offset/seq range disagrees with records";
+    }
+    if (a.cells != b.cells || a.profiles != b.profiles ||
+        a.summaries != b.summaries || a.complete != b.complete) {
+      return "run " + a.run_id + " record counts disagree with records";
+    }
+    for (const auto& kernel : seg.rec.index[i].kernels) {
+      if (!f.kernels.maybe_contains(kernel)) {
+        return "bloom filter denies committed kernel '" + kernel + "'";
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace
@@ -404,7 +181,7 @@ std::string encode_record(RecordType type, std::uint64_t seq,
   body.push_back(static_cast<char>(type));
   body += payload;
   const auto len = static_cast<std::uint32_t>(body.size());
-  const std::uint32_t crc = sandbox::crc32(body.data(), body.size());
+  const std::uint32_t crc = util::crc32(body.data(), body.size());
   std::string frame;
   frame.reserve(kFrameBytes + body.size());
   std::uint32_t magic = kRecordMagic;
@@ -434,8 +211,8 @@ std::string encode_cell_payload(const CellRecord& c) {
   return w.take();
 }
 
-CellRecord decode_cell_payload(const std::string& payload) {
-  wire::Reader r(payload);
+CellRecord decode_cell_payload(std::string_view payload) {
+  wire::Reader r(payload.data(), payload.size());
   CellRecord c;
   c.kernel = r.get_bytes();
   c.variant = r.get_bytes();
@@ -483,25 +260,22 @@ StoreWriter::StoreWriter(std::string dir, WriterOptions opt)
 }
 
 void StoreWriter::recover_journal() {
-  const ScanOutcome scan = scan_store(dir_);
-  if (!scan.damaged_segments.empty()) {
-    std::string what =
-        "store: sealed segment damage in '" + dir_ + "' (";
-    for (std::size_t i = 0; i < scan.segment_problems.size(); ++i) {
-      if (i) what += "; ";
-      what += scan.segment_problems[i];
-    }
-    what += ") — run rperf-report --store with --fsck --repair";
-    throw CorruptError(what);
+  const LedgerScan scan = scan_ledger(dir_);
+  if (!scan.damaged.empty()) {
+    throw CorruptError("store: sealed segment damage in '" + dir_ + "' (" +
+                       joined_problems(scan.segment_problems) +
+                       ") — run rperf-report --store with --fsck --repair");
   }
-  next_segment_ = scan.segments ? scan.max_segment_index + 1 : 0;
-  next_seq_ = scan.state.committed_seq + 1;
+  next_segment_ = scan.segments.empty() ? 0 : scan.max_segment_index + 1;
+  next_seq_ = scan.final_committed_seq + 1;
 
   const std::string journal_path = dir_ + "/journal.rps";
-  const std::uint64_t tail = tail_bytes_of(scan);
+  const std::uint64_t tail = scan.tail_bytes();
   if (tail > 0) {
     // Quarantine before truncating: the torn tail is preserved evidence,
-    // never silently dropped.
+    // never silently dropped. (A footer left in the journal by a crash
+    // between footer append and seal rename lands here too — it indexes
+    // nothing once the file stays a journal.)
     const std::string data = read_file(journal_path);
     recovery_.quarantine_file =
         quarantine_tail(dir_, data.substr(scan.journal_committed_end));
@@ -643,21 +417,63 @@ void StoreWriter::finish_run() {
 
 void StoreWriter::seal() {
   // The journal is durable (finish_run's barrier); publish it as an
-  // immutable segment: rename + directory fsync, then start fresh. This
-  // publication path is the 'segment' class of the I/O fault grammar:
-  // enospc/shortwrite fail it before the rename (the run stays in the
-  // journal), fsyncfail fails the directory barrier after the rename,
-  // and tornseg scribbles a byte inside the freshly sealed file —
-  // simulated media damage to an immutable segment.
+  // immutable segment: footer index append, rename + directory fsync,
+  // manifest update, then start fresh. This publication path is the
+  // 'segment' class of the I/O fault grammar: enospc/shortwrite fail it
+  // before any footer byte lands (the run stays in the journal),
+  // fsyncfail fails the directory barrier after the rename, tornseg
+  // scribbles a byte inside the freshly sealed records — simulated media
+  // damage to an immutable segment — and idxcorrupt (class 'index')
+  // scribbles the footer instead, which readers must survive.
   char name[32];
   std::snprintf(name, sizeof(name), "seg-%06llu.rps",
                 static_cast<unsigned long long>(next_segment_));
+  SealInfo info;
+  info.segment = name;
+  std::uint64_t records_end = 0;
+  SegmentFooter footer;
   auto& inj = faults::injector();
   try {
     if (inj.fire_io_fault(faults::FaultKind::Enospc, "segment") ||
         inj.fire_io_fault(faults::FaultKind::ShortWrite, "segment")) {
       throw IoError("store: injected failure publishing " +
                     std::string(name));
+    }
+    records_end = journal_.size();
+    if (opt_.write_index) {
+      // Build the footer by re-scanning the just-fsynced journal with
+      // the same scan core recovery uses — a valid footer is therefore
+      // definitionally consistent with a full decode. The index is
+      // fail-open: any failure here (including an injected journal
+      // fault) is recorded and the segment seals footerless; a partial
+      // footer append reads as a truncated footer, which readers also
+      // survive.
+      try {
+        const std::string data = read_file(journal_.path());
+        const RecordsScan rec =
+            scan_records(data, kHeaderBytes, data.size(), 0, name);
+        if (!rec.clean) {
+          info.index_error = "journal not clean at seal: " + rec.why;
+        } else {
+          footer.records_end = data.size();
+          std::size_t kernel_count = 0;
+          for (const auto& ri : rec.index) kernel_count += ri.kernels.size();
+          footer.kernels = BloomFilter::sized_for(kernel_count);
+          for (const auto& ri : rec.index) {
+            footer.runs.push_back(ri.entry);
+            for (const auto& k : ri.kernels) footer.kernels.add(k);
+          }
+          const std::string bytes = encode_footer(footer);
+          journal_.append(bytes.data(), bytes.size());
+          journal_.sync();
+          info.footer_ok = true;
+          info.footer_bytes = bytes.size();
+          info.runs_indexed = footer.runs.size();
+        }
+      } catch (const std::exception& e) {
+        info.footer_ok = false;
+        info.index_error = e.what();
+      }
     }
     journal_.close();
     atomic_rename(dir_ + "/journal.rps", dir_ + "/" + name);
@@ -668,8 +484,20 @@ void StoreWriter::seal() {
     }
     fsync_dir(dir_);
     if (inj.fire_io_fault(faults::FaultKind::TornSeg, "segment")) {
-      scribble_byte(dir_ + "/" + name);
+      scribble_records(dir_ + "/" + name, records_end);
       throw IoError("store: injected media damage in " + std::string(name));
+    }
+    if (info.footer_ok &&
+        inj.fire_io_fault(faults::FaultKind::IndexCorrupt, "index")) {
+      // Damage the footer body and leave the manifest stale, so queries
+      // are forced through the corrupt footer and must demonstrate the
+      // fail-open fallback. The records are untouched: the seal still
+      // succeeds and nothing may report an error beyond a warning.
+      scribble_at(dir_ + "/" + name, records_end + kFooterHeadBytes);
+      info.footer_ok = false;
+      info.index_error = "injected index corruption in " + std::string(name);
+    } else if (info.footer_ok) {
+      update_manifest_at_seal(dir_, name, footer, info);
     }
     journal_.open(dir_ + "/journal.rps", "journal");
     journal_.append(kFileMagic, kHeaderBytes);
@@ -678,28 +506,24 @@ void StoreWriter::seal() {
     failed_ = true;
     throw StoreError(e.what());
   }
+  seal_info_ = std::move(info);
 }
 
 // ---------------------------------------------------------------------------
 // StoreReader
 
-StoreReader::StoreReader(const std::string& dir) {
-  const ScanOutcome scan = scan_store(dir);
+StoreReader::StoreReader(const std::string& dir, unsigned threads) {
+  LedgerScan scan = scan_ledger(dir, threads);
   if (!scan.any_files) {
     throw StoreError("store: no profile store at '" + dir + "'");
   }
-  if (!scan.damaged_segments.empty()) {
-    std::string what = "store: sealed segment damage in '" + dir + "' (";
-    for (std::size_t i = 0; i < scan.segment_problems.size(); ++i) {
-      if (i) what += "; ";
-      what += scan.segment_problems[i];
-    }
-    what += ")";
-    throw CorruptError(what);
+  if (!scan.damaged.empty()) {
+    throw CorruptError("store: sealed segment damage in '" + dir + "' (" +
+                       joined_problems(scan.segment_problems) + ")");
   }
-  runs_ = scan.state.runs;
-  tail_bytes_ = tail_bytes_of(scan);
-  segments_ = scan.segments;
+  runs_ = std::move(scan.runs);
+  tail_bytes_ = scan.tail_bytes();
+  segments_ = scan.segments.size();
 }
 
 const StoredRun* StoreReader::find(const std::string& prefix) const {
@@ -712,25 +536,75 @@ const StoredRun* StoreReader::find(const std::string& prefix) const {
 // ---------------------------------------------------------------------------
 // fsck
 
-FsckReport fsck(const std::string& dir, bool repair) {
-  const ScanOutcome scan = scan_store(dir);
+FsckReport fsck(const std::string& dir, bool repair, unsigned threads) {
+  const LedgerScan scan = scan_ledger(dir, threads);
   if (!scan.any_files) {
     throw StoreError("store: no profile store at '" + dir + "'");
   }
   FsckReport report;
-  report.segments = scan.segments;
-  report.runs = scan.state.runs.size();
-  report.committed_cells = scan.state.committed_cells;
-  for (const auto& run : scan.state.runs) {
+  report.segments = scan.segments.size();
+  report.runs = scan.runs.size();
+  report.committed_cells = scan.committed_cells;
+  for (const auto& run : scan.runs) {
     if (run.complete) ++report.complete_runs;
   }
-  report.tail_bytes = tail_bytes_of(scan);
+  report.tail_bytes = scan.tail_bytes();
 
-  if (!scan.damaged_segments.empty()) {
+  // Cross-check every healthy segment's footer against the full decode.
+  // Absent/unreadable footers cost queries speed, not correctness, so
+  // they are notes only; a CRC-valid footer that lies about the records
+  // means the sealed bytes changed — that is data corruption.
+  std::vector<std::size_t> lying;  // indices into scan.segments
+  for (std::size_t i = 0; i < scan.segments.size(); ++i) {
+    const SegmentScan& seg = scan.segments[i];
+    if (!seg.data_clean) continue;
+    switch (seg.footer.status) {
+      case FooterProbe::Status::Absent:
+        report.notes.push_back("pre-index segment (no footer): " + seg.name);
+        break;
+      case FooterProbe::Status::Unreadable:
+        report.notes.push_back("unreadable footer (queries fall back to "
+                               "full scan): " + seg.name + " (" +
+                               seg.footer.why + ")");
+        break;
+      case FooterProbe::Status::Valid: {
+        const std::string mismatch = footer_mismatch(seg);
+        if (!mismatch.empty()) {
+          lying.push_back(i);
+          report.notes.push_back("footer contradicts records: " + seg.name +
+                                 " (" + mismatch + ")");
+        }
+        break;
+      }
+    }
+  }
+
+  // The manifest is a pure cache — staleness is a note, never an error.
+  std::string manifest_why;
+  const bool manifest_exists = fs::exists(dir + "/" + kManifestName);
+  std::optional<Manifest> manifest;
+  if (manifest_exists) {
+    manifest = load_manifest(dir, &manifest_why);
+    if (!manifest) {
+      report.notes.push_back("unreadable manifest (queries fall back to "
+                             "footers): " + manifest_why);
+    } else {
+      for (const auto& entry : manifest->segments) {
+        const std::string path = dir + "/" + entry.name;
+        if (!fs::exists(path) || fs::file_size(path) != entry.file_size) {
+          report.notes.push_back("stale manifest entry: " + entry.name);
+        }
+      }
+    }
+  }
+
+  if (!scan.damaged.empty()) {
     report.status = FsckStatus::Corrupt;
     for (const auto& problem : scan.segment_problems) {
       report.notes.push_back("corrupt sealed segment: " + problem);
     }
+  } else if (!lying.empty()) {
+    report.status = FsckStatus::Corrupt;
   } else if (report.tail_bytes > 0) {
     report.status = FsckStatus::Recoverable;
     report.notes.push_back(
@@ -749,12 +623,30 @@ FsckReport fsck(const std::string& dir, bool repair) {
       throw StoreError("store: cannot repair '" + dir +
                        "': a writer holds the lock");
     }
-    for (const auto& seg : scan.damaged_segments) {
+    std::vector<bool> removed(scan.segments.size(), false);
+    std::vector<bool> stripped(scan.segments.size(), false);
+    for (const std::size_t i : scan.damaged) {
+      const std::string seg_path = dir + "/" + scan.segments[i].name;
       const std::string dest =
-          dir + "/quarantine/" + fs::path(seg).filename().string();
+          dir + "/quarantine/" + scan.segments[i].name;
       fs::create_directories(dir + "/quarantine");
-      atomic_rename(seg, dest);
+      atomic_rename(seg_path, dest);
+      removed[i] = true;
       report.notes.push_back("quarantined damaged segment -> " + dest);
+      report.repaired = true;
+    }
+    for (const std::size_t i : lying) {
+      // Strip the lying footer: truncate to the records region, turning
+      // the segment back into a readable pre-index segment. The records
+      // themselves were proven intact by the full decode.
+      const SegmentScan& seg = scan.segments[i];
+      AppendFile file;
+      file.open(dir + "/" + seg.name, "segment");
+      file.truncate(seg.footer.footer.records_end);
+      file.close();
+      stripped[i] = true;
+      report.notes.push_back("stripped contradicting footer from " +
+                             seg.name);
       report.repaired = true;
     }
     if (report.tail_bytes > 0) {
@@ -768,6 +660,32 @@ FsckReport fsck(const std::string& dir, bool repair) {
       journal.close();
       report.notes.push_back("quarantined torn journal tail -> " + qpath);
       report.repaired = true;
+    }
+    if (report.repaired && (manifest_exists || !manifest_why.empty())) {
+      // Rebuild the manifest from the surviving, trustworthy footers so
+      // the cache never outlives the files it described.
+      Manifest m;
+      for (std::size_t i = 0; i < scan.segments.size(); ++i) {
+        const SegmentScan& seg = scan.segments[i];
+        if (removed[i] || stripped[i] || !seg.data_clean) continue;
+        if (seg.footer.status != FooterProbe::Status::Valid) continue;
+        ManifestSegment entry;
+        entry.name = seg.name;
+        entry.file_size = seg.size;
+        entry.last_seq = seg.footer.footer.last_seq();
+        entry.runs = seg.footer.footer.runs;
+        entry.kernels = seg.footer.footer.kernels;
+        m.segments.push_back(std::move(entry));
+      }
+      try {
+        save_manifest(dir, m);
+        report.notes.push_back("rebuilt manifest (" +
+                               std::to_string(m.segments.size()) +
+                               " segment(s))");
+      } catch (const std::exception& e) {
+        report.notes.push_back(std::string("manifest rebuild failed: ") +
+                               e.what());
+      }
     }
     ::close(lock_fd);
   }

@@ -53,11 +53,17 @@
 // fsync barriers (group commit every few markers, always at run finish)
 // bound only the durability window, not consistency.
 //
-// Sealing: finish_run fsyncs the journal, atomic-renames it to the next
-// seg-NNNNNN.rps, fsyncs the directory, and starts a fresh journal.
-// Sealed segments are immutable and must scan perfectly end-to-end;
-// damage inside one is real disk corruption — readers throw
-// CorruptError ("beyond repair"; fsck --repair quarantines the segment).
+// Sealing: finish_run fsyncs the journal, appends a footer index (run
+// directory + bloom filter over kernel names; see store/index.hpp),
+// atomic-renames it to the next seg-NNNNNN.rps, fsyncs the directory,
+// updates the MANIFEST.rps catalog crash-atomically, and starts a fresh
+// journal. Sealed segments are immutable and their *records* must scan
+// perfectly end-to-end; damage there is real disk corruption — readers
+// throw CorruptError ("beyond repair"; fsck --repair quarantines the
+// segment). The footer and manifest are pure indexes and strictly
+// fail-open: unreadable or missing index data degrades reads to a full
+// scan, never to an error, and segments sealed before footers existed
+// stay readable unchanged.
 #pragma once
 
 #include <cstdint>
@@ -92,6 +98,10 @@ inline constexpr std::uint32_t kRecordMagic = 0x31535052u;  // "RPS1"
 /// Upper bound on a record body; a larger claimed len is corruption,
 /// not data (prevents over-read/over-allocation on torn input).
 inline constexpr std::uint32_t kMaxRecordBody = 64u << 20;
+/// Record framing geometry (shared with the scan core and the fuzzer).
+inline constexpr std::size_t kHeaderBytes = sizeof(kFileMagic);
+inline constexpr std::size_t kFrameBytes = 12;  // magic + len + crc
+inline constexpr std::size_t kMinBody = 9;      // seq + type
 
 enum class RecordType : std::uint8_t {
   RunHeader = 1,
@@ -146,18 +156,34 @@ struct StoredRun {
                                         const std::string& payload);
 
 [[nodiscard]] std::string encode_cell_payload(const CellRecord& c);
-[[nodiscard]] CellRecord decode_cell_payload(const std::string& payload);
+/// Accepts a view so mmap'd segments decode in place (zero copy).
+[[nodiscard]] CellRecord decode_cell_payload(std::string_view payload);
 
 struct WriterOptions {
   /// fsync the journal after this many commit markers (group commit).
   /// Consistency never depends on this — only the durability window.
   std::size_t sync_every_commits = 8;
+  /// Append a footer index to each sealed segment and maintain the
+  /// MANIFEST.rps catalog. Off produces pre-index segments (the format
+  /// every reader must keep accepting; tests use this).
+  bool write_index = true;
 };
 
 /// What opening the writer had to recover.
 struct RecoveryInfo {
   std::uint64_t quarantined_bytes = 0;
   std::string quarantine_file;  ///< empty when nothing was quarantined
+};
+
+/// What the most recent seal published (for the executor's log line).
+struct SealInfo {
+  std::string segment;            ///< empty until the first seal
+  std::size_t runs_indexed = 0;   ///< footer directory entries written
+  std::uint64_t footer_bytes = 0; ///< 0 when no footer was written
+  bool footer_ok = false;
+  std::size_t manifest_runs = 0;  ///< total runs catalogued after update
+  bool manifest_ok = false;
+  std::string index_error;        ///< why footer/manifest was skipped
 };
 
 /// Single-writer append handle. Opening recovers the journal (quarantine
@@ -173,6 +199,7 @@ class StoreWriter {
   StoreWriter& operator=(const StoreWriter&) = delete;
 
   [[nodiscard]] const RecoveryInfo& recovery() const { return recovery_; }
+  [[nodiscard]] const SealInfo& last_seal() const { return seal_info_; }
   [[nodiscard]] const std::string& dir() const { return dir_; }
   [[nodiscard]] bool failed() const { return failed_; }
   [[nodiscard]] const std::string& run_id() const { return run_id_; }
@@ -204,6 +231,7 @@ class StoreWriter {
   AppendFile journal_;
   int lock_fd_ = -1;
   RecoveryInfo recovery_;
+  SealInfo seal_info_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t last_data_seq_ = 0;  ///< seq of last non-marker record
   std::uint64_t next_segment_ = 0;
@@ -219,7 +247,9 @@ class StoreWriter {
 /// segment is damaged and StoreError when DIR holds no store.
 class StoreReader {
  public:
-  explicit StoreReader(const std::string& dir);
+  /// `threads` fans the cold segment scan across a small thread pool
+  /// (0 = min(4, hardware)); the result is identical for any count.
+  explicit StoreReader(const std::string& dir, unsigned threads = 0);
 
   [[nodiscard]] const std::vector<StoredRun>& runs() const { return runs_; }
   /// Latest run whose run_id starts with `prefix` (empty = latest run).
@@ -252,10 +282,17 @@ struct FsckReport {
   std::vector<std::string> notes; ///< human-readable findings
 };
 
-/// Scan every file in the store and classify it. With `repair`,
-/// quarantine+truncate a torn journal tail and quarantine damaged
-/// sealed segments (the committed runs in healthy files survive).
-/// Throws StoreError when DIR holds no store at all.
-[[nodiscard]] FsckReport fsck(const std::string& dir, bool repair);
+/// Scan every file in the store and classify it. Footers are
+/// cross-checked against the full decode: a missing or unreadable
+/// footer is only a note (index fail-open), but a CRC-valid footer
+/// that *contradicts* the records marks the store Corrupt. With
+/// `repair`, quarantine+truncate a torn journal tail, quarantine
+/// damaged sealed segments (the committed runs in healthy files
+/// survive), strip lying/unreadable footers (the segment reverts to a
+/// readable pre-index segment), and rebuild the manifest. `threads`
+/// parallelizes the segment scans (0 = min(4, hardware)). Throws
+/// StoreError when DIR holds no store at all.
+[[nodiscard]] FsckReport fsck(const std::string& dir, bool repair,
+                              unsigned threads = 0);
 
 }  // namespace rperf::store

@@ -685,6 +685,22 @@ void Executor::run() {
           static_cast<double>(faults::injector().fires());
       store_writer_->add_trace_summary(summary);
       store_writer_->finish_run();
+      // Seal summary on stderr: which segment the run landed in and
+      // whether its query index (footer + manifest) made it to disk.
+      // Index failures are fail-open — queries fall back to full scans
+      // — so this is a warning, never a disabled store.
+      const store::SealInfo& seal = store_writer_->last_seal();
+      if (!seal.segment.empty()) {
+        std::cerr << "rperf-store: sealed " << seal.segment << " ("
+                  << seal.runs_indexed << " run(s) indexed, footer "
+                  << seal.footer_bytes << " bytes, manifest "
+                  << seal.manifest_runs << " run(s))\n";
+        if (!seal.footer_ok || !seal.manifest_ok) {
+          std::cerr << "warning: store index degraded (queries fall back "
+                       "to full scans): "
+                    << seal.index_error << "\n";
+        }
+      }
     } catch (const store::StoreError& e) {
       store_error_ = e.what();
       std::cerr << "warning: profile store disabled: " << e.what() << "\n";

@@ -1,0 +1,7 @@
+# Included by ctest after gtest_discover_tests' generated file has run, so
+# ${test_store_query_gtests} names every discovered StoreQueryTest case.
+# Applies the two-label set that gtest_discover_tests(PROPERTIES LABELS ...)
+# cannot express (multi-valued property lists flatten on the way through).
+foreach(t IN LISTS test_store_query_gtests)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1;store-query")
+endforeach()

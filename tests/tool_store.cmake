@@ -124,6 +124,53 @@ if(NOT run_out MATCHES "Stream_TRIAD")
   message(FATAL_ERROR "store --run shows no cells:\n${run_out}")
 endif()
 
+# Phase 4b: the index-era query planner over the same store: ledger-wide
+# --topn, --groupby totals, a bloom-pruned --kernel search, and the
+# usage-error contract for a bad --groupby key.
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --topn 5
+  OUTPUT_VARIABLE topn_out
+  RESULT_VARIABLE rct)
+if(NOT rct EQUAL 0)
+  message(FATAL_ERROR "store --topn: want exit 0, got ${rct}:\n${topn_out}")
+endif()
+if(NOT topn_out MATCHES "top [0-9]+ cells across")
+  message(FATAL_ERROR "store --topn missing summary line:\n${topn_out}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --groupby kernel
+  OUTPUT_VARIABLE group_out
+  RESULT_VARIABLE rcg)
+if(NOT rcg EQUAL 0)
+  message(FATAL_ERROR
+    "store --groupby: want exit 0, got ${rcg}:\n${group_out}")
+endif()
+if(NOT group_out MATCHES "kernel group\\(s\\) in" OR
+   NOT group_out MATCHES "Stream_TRIAD")
+  message(FATAL_ERROR "store --groupby kernel missing rows:\n${group_out}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --groupby bogus
+  OUTPUT_VARIABLE badgroup_out
+  ERROR_VARIABLE badgroup_err
+  RESULT_VARIABLE rcb)
+if(NOT rcb EQUAL 2)
+  message(FATAL_ERROR
+    "store --groupby bogus: want usage exit 2, got ${rcb}:\n${badgroup_err}")
+endif()
+execute_process(
+  COMMAND "${REPORT}" --store "${STORE}" --kernel Stream_TRIAD --threads 2
+  OUTPUT_VARIABLE kernel_out
+  RESULT_VARIABLE rck)
+if(NOT rck EQUAL 0)
+  message(FATAL_ERROR
+    "store --kernel: want exit 0, got ${rck}:\n${kernel_out}")
+endif()
+if(NOT kernel_out MATCHES "kernel Stream_TRIAD: [1-9]")
+  message(FATAL_ERROR
+    "store --kernel found no Stream_TRIAD cells:\n${kernel_out}")
+endif()
+
 # Phase 5: damage inside a sealed segment is "beyond repair" — readers
 # and fsck must exit 5 (never misparse), and only --repair (quarantining
 # the segment) returns the store to health.

@@ -25,15 +25,25 @@
 //
 // --store mode queries the crash-consistent .rps profile store written
 // by rajaperf --store: list runs (default), show one run (--run ID
-// [--top N]), cross-run diff by kernel (--diff ID1 ID2), and fsck
-// (--fsck [--repair]) which scans every segment and the journal,
-// reports, and optionally quarantines damage.
+// [--top N]), cross-run diff by kernel (--diff ID1 ID2), ledger-wide
+// aggregations (--topn N, --groupby kernel|group|variant, --kernel K),
+// and fsck (--fsck [--repair]) which scans every segment and the
+// journal, reports, and optionally quarantines damage.
 //
-// Exit codes: 0 ok; 1 read/analysis error; 2 usage error; 3 regressions
-// flagged by --compare; 4 crash records present in DIR (summary printed —
-// the sweep "completed" only by containing worker crashes, so CI should
-// look at the crash summary rather than trust the tables alone) or store
-// fsck found a recoverable torn journal tail; 5 store or profile corrupt
+// Queries are planned through the store's index: the MANIFEST.rps
+// catalog and per-segment footers answer listings and point lookups
+// without decoding record payloads, bloom filters prune --kernel
+// scans, and cold full scans fan out across --threads N workers. A
+// missing or damaged index degrades to the full scan with a warning on
+// stderr (fail open); damaged records still exit 5 (fail closed).
+// --no-index forces the full-scan path everywhere.
+//
+// Exit codes: 0 ok; 1 read/analysis error; 2 usage error (including an
+// ambiguous --diff run prefix); 3 regressions flagged by --compare;
+// 4 crash records present in DIR (summary printed — the sweep
+// "completed" only by containing worker crashes, so CI should look at
+// the crash summary rather than trust the tables alone) or store fsck
+// found a recoverable torn journal tail; 5 store or profile corrupt
 // beyond repair (sealed segment damage, unparseable profile data);
 // 70 unknown (non-std::exception) error.
 #include <algorithm>
@@ -50,6 +60,7 @@
 #include "analysis/thicket.hpp"
 #include "instrument/json.hpp"
 #include "instrument/trace_export.hpp"
+#include "store/query.hpp"
 #include "store/store.hpp"
 
 namespace {
@@ -182,8 +193,11 @@ int trace_mode(int argc, char** argv) {
 }
 
 /// --store DIR query modes against the crash-consistent .rps profile
-/// store: list runs (default), show one run (--run [--top N]), diff two
-/// runs by kernel (--diff), or scan/repair (--fsck [--repair]).
+/// store: list runs (default, straight from the index catalog), show
+/// one run (--run [--top N], indexed point lookup), diff two runs by
+/// kernel (--diff, one catalog pass), ledger-wide top cells (--topn),
+/// grouped totals (--groupby kernel|group|variant), bloom-pruned kernel
+/// search (--kernel), or scan/repair (--fsck [--repair]).
 int store_mode(int argc, char** argv) {
   namespace store = rperf::store;
   if (argc < 3) {
@@ -194,10 +208,16 @@ int store_mode(int argc, char** argv) {
   std::string run_prefix;
   std::string diff_a;
   std::string diff_b;
+  std::string groupby;
+  std::string kernel;
   std::size_t top_n = 10;
+  std::size_t topn = 10;
+  unsigned threads = 0;
   bool show_run = false;
   bool do_fsck = false;
   bool repair = false;
+  bool do_topn = false;
+  bool use_index = true;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
       run_prefix = argv[++i];
@@ -208,6 +228,17 @@ int store_mode(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 2 < argc) {
       diff_a = argv[++i];
       diff_b = argv[++i];
+    } else if (std::strcmp(argv[i], "--topn") == 0 && i + 1 < argc) {
+      topn = static_cast<std::size_t>(std::stoul(argv[++i]));
+      do_topn = true;
+    } else if (std::strcmp(argv[i], "--groupby") == 0 && i + 1 < argc) {
+      groupby = argv[++i];
+    } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      kernel = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--no-index") == 0) {
+      use_index = false;
     } else if (std::strcmp(argv[i], "--fsck") == 0) {
       do_fsck = true;
     } else if (std::strcmp(argv[i], "--repair") == 0) {
@@ -217,12 +248,20 @@ int store_mode(int argc, char** argv) {
       return 2;
     }
   }
+  if (!groupby.empty() && groupby != "kernel" && groupby != "group" &&
+      groupby != "variant") {
+    std::fprintf(stderr,
+                 "--groupby wants kernel, group, or variant (got %s)\n",
+                 groupby.c_str());
+    return 2;
+  }
 
   if (do_fsck) {
     // Exit code is the state *found*: 0 clean, 4 recoverable (torn
-    // journal tail), 5 corrupt beyond repair (sealed segment damage).
-    // With --repair the damage is quarantined, so a rerun reports clean.
-    const store::FsckReport report = store::fsck(dir, repair);
+    // journal tail), 5 corrupt beyond repair (sealed segment damage or
+    // a valid footer contradicting the records). With --repair the
+    // damage is quarantined, so a rerun reports clean.
+    const store::FsckReport report = store::fsck(dir, repair, threads);
     const char* status = report.status == store::FsckStatus::Clean
                              ? "clean"
                              : report.status == store::FsckStatus::Recoverable
@@ -246,35 +285,53 @@ int store_mode(int argc, char** argv) {
     return 70;
   }
 
-  const store::StoreReader reader(dir);
-  if (reader.journal_tail_bytes() > 0) {
+  store::StoreQuery query(dir, {threads, use_index});
+  // Index degradations (unreadable footer, stale manifest, failed point
+  // lookup) are warnings: the answer is still correct, just slower.
+  std::size_t warned = 0;
+  auto flush_warnings = [&query, &warned] {
+    for (; warned < query.warnings().size(); ++warned) {
+      std::fprintf(stderr, "warning: %s\n", query.warnings()[warned].c_str());
+    }
+  };
+  flush_warnings();
+  if (query.journal_tail_bytes() > 0) {
     std::fprintf(stderr,
                  "warning: torn journal tail of %llu byte(s) (uncommitted; "
                  "--fsck --repair quarantines it)\n",
-                 static_cast<unsigned long long>(
-                     reader.journal_tail_bytes()));
+                 static_cast<unsigned long long>(query.journal_tail_bytes()));
   }
 
   if (!diff_a.empty()) {
-    const store::StoredRun* a = reader.find(diff_a);
-    const store::StoredRun* b = reader.find(diff_b);
-    if (a == nullptr || b == nullptr) {
+    // Both prefixes resolve against the one catalog (a single ledger
+    // pass); an ambiguous prefix is a usage error listing the matches.
+    std::vector<std::optional<store::StoredRun>> runs;
+    try {
+      runs = query.resolve({diff_a, diff_b});
+    } catch (const store::AmbiguousRunPrefix& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    flush_warnings();
+    if (!runs[0] || !runs[1]) {
       std::fprintf(stderr, "error: run %s not found in %s\n",
-                   (a == nullptr ? diff_a : diff_b).c_str(), dir.c_str());
+                   (!runs[0] ? diff_a : diff_b).c_str(), dir.c_str());
       return 1;
     }
+    const store::StoredRun& a = *runs[0];
+    const store::StoredRun& b = *runs[1];
     // Cross-run diff by (kernel, variant, tuning): passed cells only.
     std::map<std::string, double> base;
-    for (const auto& c : a->cells) {
+    for (const auto& c : a.cells) {
       if (c.status == "Passed" && c.time_per_rep_sec > 0.0) {
         base[c.kernel + "/" + c.variant + "/" + c.tuning] =
             c.time_per_rep_sec;
       }
     }
-    std::printf("diff %s -> %s\n", a->run_id.c_str(), b->run_id.c_str());
+    std::printf("diff %s -> %s\n", a.run_id.c_str(), b.run_id.c_str());
     std::printf("  %-52s %12s %12s %8s\n", "Cell", "base (s)", "cand (s)",
                 "ratio");
-    for (const auto& c : b->cells) {
+    for (const auto& c : b.cells) {
       if (c.status != "Passed" || c.time_per_rep_sec <= 0.0) continue;
       const std::string key = c.kernel + "/" + c.variant + "/" + c.tuning;
       const auto it = base.find(key);
@@ -286,8 +343,9 @@ int store_mode(int argc, char** argv) {
   }
 
   if (show_run) {
-    const store::StoredRun* run = reader.find(run_prefix);
-    if (run == nullptr) {
+    const std::optional<store::StoredRun> run = query.run(run_prefix);
+    flush_warnings();
+    if (!run) {
       std::fprintf(stderr, "error: run %s not found in %s\n",
                    run_prefix.c_str(), dir.c_str());
       return 1;
@@ -322,12 +380,113 @@ int store_mode(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("%zu run(s) in %s (%zu sealed segment(s))\n",
-              reader.runs().size(), dir.c_str(), reader.segment_count());
-  for (const auto& run : reader.runs()) {
+  if (!kernel.empty()) {
+    // Bloom filters prune segments that provably lack the kernel; the
+    // exact check below drops the filter's false positives.
+    const std::vector<store::StoredRun> runs = query.runs_with_kernel(kernel);
+    flush_warnings();
+    struct Hit {
+      const store::StoredRun* run;
+      const store::CellRecord* cell;
+    };
+    std::vector<Hit> hits;
+    for (const auto& r : runs) {
+      for (const auto& c : r.cells) {
+        if (c.kernel == kernel) hits.push_back({&r, &c});
+      }
+    }
+    std::printf("kernel %s: %zu cell(s) in %s "
+                "(%zu segment(s) bloom-pruned)\n",
+                kernel.c_str(), hits.size(), dir.c_str(),
+                query.last_bloom_pruned());
+    for (const auto& h : hits) {
+      std::printf("  run %s %-40s %12.3e s %s\n", h.run->run_id.c_str(),
+                  (h.cell->variant + "/" + h.cell->tuning).c_str(),
+                  h.cell->time_per_rep_sec, h.cell->status.c_str());
+    }
+    return 0;
+  }
+
+  if (!groupby.empty()) {
+    // Grouped totals over every passed cell in the ledger. "group" is
+    // the suite group: the kernel-name prefix before the first '_'.
+    struct Agg {
+      std::size_t cells = 0;
+      double total = 0.0;
+    };
+    std::map<std::string, Agg> groups;
+    for (const auto& r : query.all_runs()) {
+      for (const auto& c : r.cells) {
+        if (c.status != "Passed" || c.time_per_rep_sec <= 0.0) continue;
+        const std::string key = groupby == "variant" ? c.variant
+                                : groupby == "kernel"
+                                    ? c.kernel
+                                    : c.kernel.substr(0, c.kernel.find('_'));
+        Agg& g = groups[key];
+        ++g.cells;
+        g.total += c.time_per_rep_sec;
+      }
+    }
+    flush_warnings();
+    std::vector<std::pair<std::string, Agg>> rows(groups.begin(),
+                                                  groups.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& x, const auto& y) {
+                return x.second.total > y.second.total;
+              });
+    if (do_topn && rows.size() > topn) rows.resize(topn);
+    std::printf("%zu %s group(s) in %s\n", rows.size(), groupby.c_str(),
+                dir.c_str());
+    std::printf("  %-40s %8s %14s\n", "Group", "cells", "total (s)");
+    for (const auto& [key, g] : rows) {
+      std::printf("  %-40s %8zu %14.3e\n", key.c_str(), g.cells, g.total);
+    }
+    return 0;
+  }
+
+  if (do_topn) {
+    // Ledger-wide top cells by time per rep, across every run.
+    struct Row {
+      const store::StoredRun* run;
+      const store::CellRecord* cell;
+    };
+    std::vector<Row> rows;
+    for (const auto& r : query.all_runs()) {
+      for (const auto& c : r.cells) {
+        if (c.status == "Passed" && c.time_per_rep_sec > 0.0) {
+          rows.push_back({&r, &c});
+        }
+      }
+    }
+    flush_warnings();
+    std::sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+      return x.cell->time_per_rep_sec > y.cell->time_per_rep_sec;
+    });
+    if (rows.size() > topn) rows.resize(topn);
+    std::printf("top %zu cells across %zu run(s) in %s\n", rows.size(),
+                query.all_runs().size(), dir.c_str());
+    for (const auto& row : rows) {
+      std::printf("  %-50s %12.3e s run=%s\n",
+                  (row.cell->kernel + "/" + row.cell->variant + "/" +
+                   row.cell->tuning)
+                      .c_str(),
+                  row.cell->time_per_rep_sec, row.run->run_id.c_str());
+    }
+    return 0;
+  }
+
+  // Listing comes straight from the catalog: with an intact index no
+  // record payload is decoded (the journal is the only file scanned).
+  std::printf("%zu run(s) in %s (%zu sealed segment(s), %zu indexed)\n",
+              query.catalog().size(), dir.c_str(), query.segment_count(),
+              query.indexed_segments());
+  for (const auto& entry : query.catalog()) {
     std::printf("run %s complete=%s cells=%zu profiles=%zu file=%s\n",
-                run.run_id.c_str(), run.complete ? "yes" : "no",
-                run.cells.size(), run.profiles.size(), run.file.c_str());
+                entry.meta.run_id.c_str(),
+                entry.meta.complete ? "yes" : "no",
+                static_cast<std::size_t>(entry.meta.cells),
+                static_cast<std::size_t>(entry.meta.profiles),
+                entry.file.c_str());
   }
   return 0;
 }
@@ -344,8 +503,13 @@ int main(int argc, char** argv) {
                  "[--flamegraph]\n"
                  "       rperf-report --store DIR [--run ID] [--top N] "
                  "[--diff ID1 ID2]\n"
-                 "       rperf-report --store DIR --fsck [--repair]\n"
-                 "exit codes: 0 ok, 1 read error, 2 usage, 3 regressions,\n"
+                 "                    [--topn N] "
+                 "[--groupby kernel|group|variant] [--kernel K]\n"
+                 "                    [--threads N] [--no-index]\n"
+                 "       rperf-report --store DIR --fsck [--repair] "
+                 "[--threads N]\n"
+                 "exit codes: 0 ok, 1 read error, 2 usage (incl. ambiguous "
+                 "--diff prefix), 3 regressions,\n"
                  "  4 crash records present in DIR / store recoverable "
                  "(torn journal tail),\n"
                  "  5 store or profile corrupt beyond repair, "
