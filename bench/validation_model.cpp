@@ -2,16 +2,39 @@
 // the local-host machine model, and report measured vs predicted. The
 // figure-level analyses only need relative ordering, so the quantity to
 // check is whether the model ranks kernels the same way the machine does.
+//
+// The sweep runs with hardware counters on (--hwc path), so a second
+// section cross-validates TMA level-1: fractions recovered from the
+// per-kernel counter sample via hwc::measured_tma against the predictor's
+// direct TMA attribution, as mean absolute error per kernel group. On a
+// host with a PMU that is measured-vs-model validation; without one the
+// counters are simulated and the same numbers check that the counter->TMA
+// inversion is consistent with the model that generated the counters.
+// Results land in --json (default BENCH_sweep.json) under
+// "hwc_validation", tagged with the run's hwc_source.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "counters/perf_event.hpp"
+#include "instrument/json.hpp"
 #include "machine/predictor.hpp"
 #include "suite/executor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rperf;
+  std::string json_path = "BENCH_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   suite::RunParams params;
   params.kernel_filter = {
       "Stream_TRIAD",   "Stream_DOT",         "Basic_DAXPY",
@@ -21,6 +44,7 @@ int main() {
   params.variant_filter = {suite::VariantID::Base_OpenMP};
   params.size_factor = 0.5;
   params.npasses = 3;
+  params.hwc = true;
 
   suite::Executor exec(params);
   exec.run();
@@ -71,5 +95,89 @@ int main() {
               spearman);
   std::printf("(the analyses consume orderings and ratios, not absolute "
               "times; correlation near 1 validates the model's use)\n");
+
+  // --- TMA level-1 cross-validation (counters vs predictor). ---
+  struct GroupErr {
+    std::size_t kernels = 0;
+    double mae_sum = 0.0;  ///< per-kernel MAE over the 5 fractions
+  };
+  std::map<std::string, GroupErr> groups;
+  std::size_t tma_kernels = 0;
+  double tma_mae_sum = 0.0;
+  std::printf("\nTMA level-1 cross-validation (hwc_source=%s): "
+              "counter-derived vs predicted fractions\n",
+              exec.hwc_source().empty() ? "none" : exec.hwc_source().c_str());
+  bench::print_rule(96);
+  std::printf("%-26s %10s %10s %10s %10s %10s %8s\n", "Kernel", "frontend",
+              "badspec", "retiring", "core", "memory", "MAE");
+  bench::print_rule(96);
+  for (const auto& r : exec.results()) {
+    if (r.status != suite::RunStatus::Passed || r.hwc.empty()) continue;
+    const auto* kernel = exec.find_kernel(r.kernel);
+    if (!kernel) continue;
+    const machine::TMAFractions from_counters = hwc::measured_tma(r.hwc.values);
+    if (from_counters.sum() <= 0.0) continue;
+    const machine::TMAFractions from_model =
+        machine::predict(kernel->traits(), host).tma;
+    const double diffs[5] = {
+        from_counters.frontend_bound - from_model.frontend_bound,
+        from_counters.bad_speculation - from_model.bad_speculation,
+        from_counters.retiring - from_model.retiring,
+        from_counters.core_bound - from_model.core_bound,
+        from_counters.memory_bound - from_model.memory_bound};
+    double mae = 0.0;
+    for (const double d : diffs) mae += std::abs(d) / 5.0;
+    std::printf("%-26s %+10.3f %+10.3f %+10.3f %+10.3f %+10.3f %8.3f\n",
+                r.kernel.c_str(), diffs[0], diffs[1], diffs[2], diffs[3],
+                diffs[4], mae);
+    GroupErr& g = groups[suite::to_string(r.group)];
+    ++g.kernels;
+    g.mae_sum += mae;
+    ++tma_kernels;
+    tma_mae_sum += mae;
+  }
+  bench::print_rule(96);
+  std::printf("%-26s %10s\n", "Group", "mean MAE");
+  for (const auto& [name, g] : groups) {
+    std::printf("%-26s %10.3f  (%zu kernel%s)\n", name.c_str(),
+                g.mae_sum / static_cast<double>(g.kernels), g.kernels,
+                g.kernels == 1 ? "" : "s");
+  }
+  const double overall_mae =
+      tma_kernels > 0 ? tma_mae_sum / static_cast<double>(tma_kernels) : 0.0;
+  std::printf("overall TMA MAE over %zu kernel(s): %.3f "
+              "(0 = counter attribution matches the model exactly)\n",
+              tma_kernels, overall_mae);
+
+  // --- Record (merge into the sweep bench's document when present). ---
+  json::Object doc;
+  {
+    std::ifstream in(json_path);
+    if (in) {
+      try {
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        json::Value existing = json::Value::parse(text);
+        if (existing.is_object()) doc = std::move(existing.as_object());
+      } catch (const json::JsonError&) {
+        // Unparseable prior document: start fresh rather than fail.
+      }
+    }
+  }
+  json::Object hv;
+  hv["hwc_source"] = exec.hwc_source();
+  hv["hwc_overhead_pct"] = exec.hwc_overhead_pct();
+  hv["spearman"] = spearman;
+  hv["tma_kernels"] = static_cast<std::int64_t>(tma_kernels);
+  hv["tma_mae"] = overall_mae;
+  json::Object by_group;
+  for (const auto& [name, g] : groups) {
+    by_group[name] = g.mae_sum / static_cast<double>(g.kernels);
+  }
+  hv["tma_mae_by_group"] = std::move(by_group);
+  doc["hwc_validation"] = std::move(hv);
+  std::ofstream os(json_path);
+  os << json::Value(std::move(doc)).dump(2) << '\n';
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

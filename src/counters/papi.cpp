@@ -1,5 +1,6 @@
 #include "counters/papi.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "machine/predictor.hpp"
@@ -51,8 +52,13 @@ PAPICounters simulate_papi(const KernelTraits& traits,
 }
 
 double ipc(const PAPICounters& counters) {
-  const double cyc = counters.at("PAPI_TOT_CYC");
-  return cyc > 0.0 ? counters.at("PAPI_TOT_INS") / cyc : 0.0;
+  const auto cyc = counters.find("PAPI_TOT_CYC");
+  const auto ins = counters.find("PAPI_TOT_INS");
+  if (cyc == counters.end() || ins == counters.end() ||
+      !(cyc->second > 0.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return ins->second / cyc->second;
 }
 
 }  // namespace rperf::counters

@@ -27,6 +27,13 @@ using PAPICounters = std::map<std::string, double>;
                                          const machine::MachineModel& machine);
 
 /// Derived instructions-per-cycle from a counter set.
+///
+/// Contract: returns quiet NaN when PAPI_TOT_CYC or PAPI_TOT_INS is
+/// absent, or when the cycle count is zero or negative — "no observation"
+/// is distinguishable from a measured IPC of 0 and never divides by zero
+/// or throws. Callers must std::isnan-check before aggregating. (Measured
+/// counter sets from rperf::hwc can legitimately lack events the hardware
+/// dropped, and a zeroed group read means the PMU never ran.)
 [[nodiscard]] double ipc(const PAPICounters& counters);
 
 }  // namespace rperf::counters

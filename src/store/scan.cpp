@@ -38,6 +38,7 @@ struct PendingOp {
   StoredRun run;             // RunHeader
   CellRecord cell;           // CellResult
   StoredProfile profile;     // ProfileRegion
+  CounterRecord counters;    // CounterSet
   std::map<std::string, double> summary;  // TraceSummary
 };
 
@@ -92,6 +93,7 @@ bool consume_record(ScanState& st, RecordType type, std::string_view payload,
       }
       case RecordType::CellResult:
       case RecordType::ProfileRegion:
+      case RecordType::CounterSet:
       case RecordType::TraceSummary: {
         if (current_run_id(st) == nullptr) {
           why = "data record outside any run";
@@ -108,6 +110,8 @@ bool consume_record(ScanState& st, RecordType type, std::string_view payload,
           op.profile.variant = r.get_bytes();
           op.profile.tuning = r.get_bytes();
           op.profile.profile = cali::profile_from_wire(r);
+        } else if (type == RecordType::CounterSet) {
+          op.counters = decode_counter_payload(payload);
         } else {
           wire::Reader r(payload.data(), payload.size());
           const std::uint32_t n = r.get_u32();
@@ -160,6 +164,12 @@ bool consume_record(ScanState& st, RecordType type, std::string_view payload,
             case RecordType::ProfileRegion:
               ++st.index[st.open_run].entry.profiles;
               st.runs[st.open_run].profiles.push_back(std::move(op.profile));
+              break;
+            case RecordType::CounterSet:
+              // Deliberately not indexed: the footer entry layout predates
+              // counter records and stays fixed; queries reach counters
+              // through their run.
+              st.runs[st.open_run].counters.push_back(std::move(op.counters));
               break;
             case RecordType::TraceSummary:
               ++st.index[st.open_run].entry.summaries;

@@ -227,6 +227,43 @@ CellRecord decode_cell_payload(std::string_view payload) {
   return c;
 }
 
+std::string encode_counter_payload(const CounterRecord& c) {
+  wire::Writer w;
+  w.set_self_contained(true);
+  w.put_bytes(c.kernel);
+  w.put_bytes(c.variant);
+  w.put_bytes(c.tuning);
+  w.put_bytes(c.source);
+  w.put_u64(c.time_enabled_ns);
+  w.put_u64(c.time_running_ns);
+  w.put_f64(c.overhead_sec);
+  w.put_u32(static_cast<std::uint32_t>(c.values.size()));
+  for (const auto& [name, value] : c.values) {
+    w.put_bytes(name);
+    w.put_f64(value);
+  }
+  return w.take();
+}
+
+CounterRecord decode_counter_payload(std::string_view payload) {
+  wire::Reader r(payload.data(), payload.size());
+  CounterRecord c;
+  c.kernel = r.get_bytes();
+  c.variant = r.get_bytes();
+  c.tuning = r.get_bytes();
+  c.source = r.get_bytes();
+  c.time_enabled_ns = r.get_u64();
+  c.time_running_ns = r.get_u64();
+  c.overhead_sec = r.get_f64();
+  const std::uint32_t n = r.get_u32();
+  r.check_count(n, 12);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name = r.get_bytes();
+    c.values[name] = r.get_f64();
+  }
+  return c;
+}
+
 // ---------------------------------------------------------------------------
 // StoreWriter
 
@@ -353,6 +390,11 @@ void StoreWriter::add_cell(const CellRecord& cell) {
   if (run_id_.empty()) throw StoreError("store: add_cell outside a run");
   append_record(RecordType::CellResult, encode_cell_payload(cell));
   ++cells_pending_;
+}
+
+void StoreWriter::add_counters(const CounterRecord& counters) {
+  if (run_id_.empty()) throw StoreError("store: add_counters outside a run");
+  append_record(RecordType::CounterSet, encode_counter_payload(counters));
 }
 
 void StoreWriter::add_profile(const std::string& variant,

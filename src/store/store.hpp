@@ -42,6 +42,9 @@
 //   TraceSummary(4)   aggregate trace counters for the run
 //   CommitMarker(5)   covers_seq (= seq of the immediately preceding
 //                     record) + final flag + run_id
+//   CounterSet(6)     one cell's hardware-counter totals (--hwc):
+//                     measured perf_event_open or simulated values under
+//                     PAPI preset names, plus source + multiplex window
 //
 // Records between markers are *uncommitted*. A marker only commits them
 // if it CRC-validates, its covers_seq matches its predecessor, and its
@@ -109,6 +112,7 @@ enum class RecordType : std::uint8_t {
   ProfileRegion = 3,
   TraceSummary = 4,
   CommitMarker = 5,
+  CounterSet = 6,
 };
 
 /// One terminal (kernel, variant, tuning) result as stored. The
@@ -133,6 +137,21 @@ struct StoredProfile {
   cali::Profile profile;
 };
 
+/// One cell's hardware-counter totals as stored (--hwc runs). `source`
+/// is "measured" (perf_event_open, multiplex-scaled) or "simulated"
+/// (analytic model fallback); the enabled/running window is zero for
+/// simulated records.
+struct CounterRecord {
+  std::string kernel;
+  std::string variant;
+  std::string tuning;
+  std::string source;
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+  double overhead_sec = 0.0;
+  std::map<std::string, double> values;  ///< PAPI preset name -> total
+};
+
 /// A run reassembled from its committed records. Uncommitted records
 /// never appear here.
 struct StoredRun {
@@ -140,6 +159,7 @@ struct StoredRun {
   std::map<std::string, std::string> config;
   std::vector<CellRecord> cells;
   std::vector<StoredProfile> profiles;
+  std::vector<CounterRecord> counters;
   std::map<std::string, double> trace_summary;
   bool complete = false;  ///< final commit marker seen (run finished)
   std::string file;       ///< file the run's header lives in
@@ -158,6 +178,9 @@ struct StoredRun {
 [[nodiscard]] std::string encode_cell_payload(const CellRecord& c);
 /// Accepts a view so mmap'd segments decode in place (zero copy).
 [[nodiscard]] CellRecord decode_cell_payload(std::string_view payload);
+
+[[nodiscard]] std::string encode_counter_payload(const CounterRecord& c);
+[[nodiscard]] CounterRecord decode_counter_payload(std::string_view payload);
 
 struct WriterOptions {
   /// fsync the journal after this many commit markers (group commit).
@@ -210,6 +233,7 @@ class StoreWriter {
   /// Append a RunHeader and return the run's content address.
   std::string begin_run(const std::map<std::string, std::string>& config);
   void add_cell(const CellRecord& cell);
+  void add_counters(const CounterRecord& counters);
   void add_profile(const std::string& variant, const std::string& tuning,
                    const cali::Profile& profile);
   void add_trace_summary(const std::map<std::string, double>& summary);

@@ -16,10 +16,12 @@
 #include <thread>
 
 #include "faults/injector.hpp"
+#include "instrument/hwc.hpp"
 #include "instrument/json.hpp"
 #include "instrument/trace_export.hpp"
 #include "instrument/trace_sink.hpp"
 #include "instrument/wire_codec.hpp"
+#include "machine/machine.hpp"
 #include "mem/cache.hpp"
 #include "mem/pool.hpp"
 #include "sandbox/protocol.hpp"
@@ -90,6 +92,37 @@ void write_json_line(int fd, json::Object obj) {
   }
 }
 
+/// Merge a cell's hardware-counter sample into a JSON cell record (worker
+/// pipe protocols v1/v2); no-op for cells without a sample, so records
+/// from --hwc-less runs are byte-identical to before.
+void hwc_to_json(const hwc::Sample& s, json::Object& o) {
+  if (s.empty()) return;
+  o["hwc_source"] = s.source;
+  o["hwc_enabled_ns"] = static_cast<std::int64_t>(s.time_enabled_ns);
+  o["hwc_running_ns"] = static_cast<std::int64_t>(s.time_running_ns);
+  o["hwc_overhead_sec"] = s.overhead_sec;
+  json::Object vals;
+  for (const auto& [name, value] : s.values) vals[name] = value;
+  o["hwc_values"] = std::move(vals);
+}
+
+hwc::Sample hwc_from_json(const json::Value& v) {
+  hwc::Sample s;
+  if (!v.contains("hwc_source")) return s;
+  s.source = v.at("hwc_source").as_string();
+  s.time_enabled_ns =
+      static_cast<std::uint64_t>(v.number_or("hwc_enabled_ns", 0.0));
+  s.time_running_ns =
+      static_cast<std::uint64_t>(v.number_or("hwc_running_ns", 0.0));
+  s.overhead_sec = v.number_or("hwc_overhead_sec", 0.0);
+  if (v.contains("hwc_values")) {
+    for (const auto& [name, value] : v.at("hwc_values").as_object()) {
+      s.values[name] = value.as_number();
+    }
+  }
+  return s;
+}
+
 /// Decode a worker "cell" record into the parent-side RunResult.
 void decode_cell_record(const json::Value& v, RunResult& r) {
   r.status = run_status_from_string(v.at("status").as_string());
@@ -106,6 +139,7 @@ void decode_cell_record(const json::Value& v, RunResult& r) {
   r.pool_hits = static_cast<std::uint64_t>(v.number_or("pool_hits", 0.0));
   r.cache_hits = static_cast<std::uint64_t>(v.number_or("cache_hits", 0.0));
   r.error = v.string_or("error", "");
+  r.hwc = hwc_from_json(v);
 }
 
 /// Stable dispatch-affinity key for a kernel name (FNV-1a, forced odd so
@@ -140,6 +174,8 @@ std::string encode_cell_record_wire(const RunResult& r,
   w.put_bytes(injector_state);
   w.put_u8(profile != nullptr ? 1 : 0);
   if (profile != nullptr) cali::profile_to_wire(*profile, w);
+  w.put_u8(r.hwc.empty() ? 0 : 1);
+  if (!r.hwc.empty()) hwc::sample_to_wire(r.hwc, w);
   return w.take();
 }
 
@@ -162,6 +198,7 @@ void decode_cell_record_wire(const std::string& blob, RunResult& r,
   r.error = rd.get_bytes();
   injector_state = rd.get_bytes();
   if (rd.get_u8() != 0) profile = cali::profile_from_wire(rd);
+  if (rd.get_u8() != 0) r.hwc = hwc::sample_from_wire(rd);
 }
 
 /// Classify a worker that terminated without completing the protocol.
@@ -237,6 +274,15 @@ std::string Executor::crashes_path() const {
 
 RunStatus Executor::run_cell_once(const Cell& cell, cali::Channel& channel,
                                   RunResult& r) {
+  r.hwc = hwc::Sample{};  // retries must not accumulate samples
+  // Counter service scoped to this cell: attach is fail-open (perf
+  // unavailable leaves the service inactive and the channel untouched)
+  // and the destructor detaches on every exit path below. Because this
+  // runs wherever the cell runs, sandboxed and pooled workers open their
+  // event groups post-fork in the worker process — per-thread counters
+  // measure the worker, not the supervisor.
+  hwc::RegionCounterService hwc_service;
+  if (params_.hwc) (void)hwc_service.attach(channel);
   try {
     cell.kernel->execute(cell.vid, cell.tuning, channel);
   } catch (const KernelTimeout& e) {
@@ -257,6 +303,29 @@ RunStatus Executor::run_cell_once(const Cell& cell, cali::Channel& channel,
   r.checksum_ms = cell.kernel->last_checksum_sec() * 1e3;
   r.pool_hits = cell.kernel->last_pool_hits();
   r.cache_hits = cell.kernel->last_cache_hits();
+  if (params_.hwc) {
+    if (hwc_service.regions_observed() > 0) {
+      // Measured: the service already attributed multiplex-scaled PAPI
+      // metrics to the kernel region at each end() hook.
+      r.hwc = hwc_service.sample();
+    } else {
+      // Degrade to the simulator: analytic per-repetition counters from
+      // the probed host model, scaled to the region totals the measured
+      // path would have attributed (reps per pass x passes).
+      const double scale = static_cast<double>(r.reps) *
+                           static_cast<double>(std::max(1, params_.npasses));
+      try {
+        r.hwc = hwc::simulated_sample(cell.kernel->traits(),
+                                      machine::local_host(), scale);
+        for (const auto& [name, value] : r.hwc.values) {
+          channel.attribute_metric_at(cell.kernel->name(), name, value);
+        }
+      } catch (const std::exception&) {
+        // Even the model declined (no CPU host model): the cell still
+        // passes, just without counter metrics.
+      }
+    }
+  }
   if (!std::isfinite(static_cast<double>(r.checksum))) {
     r.error = "checksum is not finite";
     return RunStatus::ChecksumInvalid;
@@ -286,6 +355,12 @@ void Executor::append_progress(const RunResult& r) {
   o["checksum_ms"] = r.checksum_ms;
   o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
   o["cache_hits"] = static_cast<std::int64_t>(r.cache_hits);
+  if (!r.hwc.empty()) {
+    o["hwc_source"] = r.hwc.source;
+    if (r.hwc.source != "measured" && !hwc_reason_.empty()) {
+      o["hwc_unavailable_reason"] = hwc_reason_;
+    }
+  }
   // Monotonic milliseconds since run() started, so progress records line
   // up with the trace timeline and crashes.jsonl on one clock.
   o["t_ms"] = std::chrono::duration<double, std::milli>(
@@ -322,6 +397,18 @@ void Executor::store_append_cell(const RunResult& r) {
     c.attempts = static_cast<std::uint32_t>(r.attempts);
     c.error = r.error;
     store_writer_->add_cell(c);
+    if (!r.hwc.values.empty()) {
+      store::CounterRecord cr;
+      cr.kernel = r.kernel;
+      cr.variant = to_string(r.variant);
+      cr.tuning = r.tuning_name;
+      cr.source = r.hwc.source;
+      cr.time_enabled_ns = r.hwc.time_enabled_ns;
+      cr.time_running_ns = r.hwc.time_running_ns;
+      cr.overhead_sec = r.hwc.overhead_sec;
+      cr.values = r.hwc.values;
+      store_writer_->add_counters(cr);
+    }
     store_writer_->commit();
   } catch (const store::StoreError& e) {
     // Losing durability must not lose the sweep: latch the store off,
@@ -342,6 +429,8 @@ std::map<std::string, std::string> Executor::store_config() const {
   config["reps_factor"] = std::to_string(params_.reps_factor);
   config["npasses"] = std::to_string(params_.npasses);
   config["tunings"] = params_.run_tunings ? "all" : "default";
+  // Only when on, so pre-existing runs keep their content addresses.
+  if (params_.hwc) config["hwc"] = "on";
   config["isolate"] = to_string(params_.isolate);
   config["workers"] = std::to_string(params_.workers);
   auto join = [](const std::vector<std::string>& parts) {
@@ -419,6 +508,10 @@ std::map<std::string, RunResult> Executor::load_progress() const {
       r.cache_hits =
           static_cast<std::uint64_t>(v.number_or("cache_hits", 0.0));
       r.error = v.string_or("error", "");
+      // Source only: a restored cell's counters were not observed by this
+      // process, so values stay empty (no counter record re-lands in the
+      // store) but the run metadata keeps an honest hwc_source.
+      r.hwc.source = v.string_or("hwc_source", "");
       out[cell_key(r.kernel, r.variant, r.tuning_name)] = r;  // latest wins
     } catch (const std::exception&) {
       continue;  // unknown kernel/variant from an older build — re-run it
@@ -474,7 +567,23 @@ void Executor::run() {
   worker_traces_.clear();
   run_wall_sec_ = 0.0;
   trace_overhead_pct_ = 0.0;
+  hwc_reason_.clear();
+  hwc_overhead_pct_ = 0.0;
   run_start_ = std::chrono::steady_clock::now();
+
+  if (params_.hwc) {
+    // One probe, one actionable warning. The result is cached, so every
+    // later attach (including post-fork in workers, which inherit the
+    // parent's perf access) sees the same answer without re-probing.
+    const hwc::Probe& probe = hwc::cached_probe();
+    if (!probe.available) {
+      hwc_reason_ = probe.reason;
+      std::cerr << "warning: hardware counters unavailable — "
+                << probe.reason
+                << "; counter metrics degrade to the simulator "
+                   "(hwc_source=simulated)\n";
+    }
+  }
 
   cali::TraceSink& sink = cali::TraceSink::instance();
   if (params_.trace) sink.enable();
@@ -561,6 +670,11 @@ void Executor::run() {
     trace_overhead_pct_ =
         run_wall_sec_ > 0.0 ? 100.0 * overhead / run_wall_sec_ : 0.0;
   }
+  if (params_.hwc && run_wall_sec_ > 0.0) {
+    double overhead = 0.0;
+    for (const RunResult& r : results_) overhead += r.hwc.overhead_sec;
+    hwc_overhead_pct_ = 100.0 * overhead / run_wall_sec_;
+  }
 
   // Run-level metadata (the Adiak substitute), plus the failure taxonomy
   // of each (variant, tuning) slice of the sweep.
@@ -577,6 +691,30 @@ void Executor::run() {
     }
     if (params_.trace) {
       channel.set_metadata("trace_overhead_pct", trace_overhead_pct_);
+    }
+    if (params_.hwc) {
+      // Slice-level source: every cell measured -> "measured", every cell
+      // simulated -> "simulated", a mix (e.g. a mid-run PMU failure)
+      // -> "mixed". Cells without a sample (failed before completing)
+      // don't vote; an empty slice reports what the probe would give it.
+      bool any_measured = false;
+      bool any_simulated = false;
+      for (const RunResult& r : results_) {
+        if (r.variant != key.first || r.tuning_name != key.second) continue;
+        if (r.hwc.source == "measured") any_measured = true;
+        if (r.hwc.source == "simulated") any_simulated = true;
+      }
+      const char* source = "measured";
+      if (any_measured && any_simulated) {
+        source = "mixed";
+      } else if (any_simulated || (!any_measured && !hwc_reason_.empty())) {
+        source = "simulated";
+      }
+      channel.set_metadata("hwc_source", source);
+      if (!hwc_reason_.empty()) {
+        channel.set_metadata("hwc_unavailable_reason", hwc_reason_);
+      }
+      channel.set_metadata("hwc_overhead_pct", hwc_overhead_pct_);
     }
     std::map<RunStatus, std::size_t> counts;
     for (const auto& r : results_) {
@@ -709,6 +847,19 @@ void Executor::run() {
   }
 }
 
+std::string Executor::hwc_source() const {
+  bool any_measured = false;
+  bool any_simulated = false;
+  for (const RunResult& r : results_) {
+    if (r.hwc.source == "measured") any_measured = true;
+    if (r.hwc.source == "simulated") any_simulated = true;
+  }
+  if (any_measured && any_simulated) return "mixed";
+  if (any_measured) return "measured";
+  if (any_simulated) return "simulated";
+  return "";
+}
+
 void Executor::run_in_process(const std::vector<Cell>& cells,
                               const std::map<std::string, RunResult>& prior) {
   bool stopped = false;
@@ -821,6 +972,7 @@ void Executor::worker_main(int fd, const std::vector<const Cell*>& batch) {
     o["checksum_ms"] = r.checksum_ms;
     o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
     o["cache_hits"] = static_cast<std::int64_t>(r.cache_hits);
+    hwc_to_json(r.hwc, o);
     if (!r.error.empty()) o["error"] = r.error;
     if (r.status == RunStatus::Passed) {
       // The parent only commits passing cells' regions, so only those
@@ -1211,6 +1363,7 @@ std::string Executor::worker_run_cell(const std::string& payload) {
   o["checksum_ms"] = r.checksum_ms;
   o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
   o["cache_hits"] = static_cast<std::int64_t>(r.cache_hits);
+  hwc_to_json(r.hwc, o);
   if (!r.error.empty()) o["error"] = r.error;
   o["injector"] = injector_state;
   return json::Value(std::move(o)).dump();
@@ -1529,6 +1682,11 @@ void Executor::run_pooled(const std::vector<Cell>& cells,
     for (const char* metric :
          {"reps", "bytes_read", "bytes_written", "flops", "problem_size"}) {
       d.intern(metric);
+    }
+    if (params_.hwc) {
+      for (const std::string& name : hwc::papi_event_names()) d.intern(name);
+      d.intern("measured");
+      d.intern("simulated");
     }
     for (const PooledJob& p : jobs) {
       d.intern(p.r.kernel);

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "counters/perf_event.hpp"
 #include "instrument/channel.hpp"
 #include "instrument/profile.hpp"
 #include "instrument/trace_sink.hpp"
@@ -75,6 +76,12 @@ struct RunResult {
   double checksum_ms = 0.0;
   std::uint64_t pool_hits = 0;
   std::uint64_t cache_hits = 0;
+
+  /// Hardware-counter totals for this cell (RunParams::hwc): measured via
+  /// perf_event_open when available, simulated from the analytic model
+  /// otherwise (hwc.source says which); empty() when --hwc was off or the
+  /// cell never completed.
+  hwc::Sample hwc;
 };
 
 class Executor {
@@ -150,6 +157,17 @@ class Executor {
   [[nodiscard]] const std::string& store_error() const {
     return store_error_;
   }
+
+  // ----- hardware counters (RunParams::hwc) -----
+  /// Where the run's counter values came from: "measured", "simulated",
+  /// "mixed" (some cells of the run each), or "" when --hwc was off or no
+  /// cell produced a sample.
+  [[nodiscard]] std::string hwc_source() const;
+  /// Why counters degraded to the simulator ("" while fully measured).
+  [[nodiscard]] const std::string& hwc_reason() const { return hwc_reason_; }
+  /// Counter-read cost as a percent of the sweep's wall time (0 when
+  /// --hwc is off), gated < 5% by the perf_hwc_overhead smoke test.
+  [[nodiscard]] double hwc_overhead_pct() const { return hwc_overhead_pct_; }
 
   // ----- worker pool (RunParams::workers > 0) -----
   /// Supervisor statistics of the last pooled run (zeroed otherwise).
@@ -228,6 +246,8 @@ class Executor {
   SandboxStats sandbox_stats_;
   sandbox::PoolStats pool_stats_;
   bool degraded_ = false;
+  std::string hwc_reason_;
+  double hwc_overhead_pct_ = 0.0;
 
   /// Sweep epoch for the monotonic t_ms stamped on progress/crash records.
   std::chrono::steady_clock::time_point run_start_ =

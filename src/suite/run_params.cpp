@@ -83,6 +83,8 @@ RunParams RunParams::parse(int argc, const char* const* argv) {
         p.trace_path = args[i + 1];
         ++i;
       }
+    } else if (arg == "--hwc") {
+      p.hwc = true;
     } else if (arg == "--tunings") {
       p.run_tunings = true;
     } else if (arg == "--keep-going") {
@@ -191,6 +193,12 @@ std::string RunParams::usage() {
          "                    the whole sweep (all processes and threads)\n"
          "                    to PATH (default <outdir>/trace.json); open\n"
          "                    at ui.perfetto.dev\n"
+         "  --hwc             read hardware counters (perf_event_open)\n"
+         "                    per kernel region and attribute them under\n"
+         "                    PAPI preset names; falls back to simulated\n"
+         "                    counters (hwc_source=simulated metadata +\n"
+         "                    recorded reason) when perf events are\n"
+         "                    unavailable — never a failure\n"
          "  --keep-going      continue past failed cells (default)\n"
          "  --no-keep-going   stop the sweep at the first failure\n"
          "  --retries N       extra attempts for failed cells (default 0)\n"

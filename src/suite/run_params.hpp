@@ -42,6 +42,12 @@ struct RunParams {
   /// Record a merged Chrome/Perfetto timeline for the sweep (all processes
   /// and threads, including sandboxed workers). Enabled by --trace[=PATH].
   bool trace = false;
+  /// Attach the perf_event_open region counter service (rperf::hwc) to
+  /// every cell: measured per-region PAPI-named counters in profiles, a
+  /// counter record per cell in the store, and hwc_source/
+  /// hwc_unavailable_reason run metadata. Degrades to the simulator —
+  /// never fails the run — when perf events are unavailable.
+  bool hwc = false;
   /// Destination for the trace file; empty = <outdir>/trace.json (or
   /// ./trace.json when no outdir is set).
   std::string trace_path;

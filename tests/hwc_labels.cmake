@@ -1,0 +1,7 @@
+# Attach the "hwc" label (alongside tier1) to every test that
+# gtest_discover_tests found in test_hwc. Runs at ctest time via
+# TEST_INCLUDE_FILES, after the discovered tests exist; the tsan preset
+# filters on this label to race-check the counter service's hook path.
+foreach(t IN LISTS test_hwc_gtests)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1;hwc")
+endforeach()

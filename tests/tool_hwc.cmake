@@ -1,0 +1,116 @@
+# End-to-end hardware-counter walk at the CLI. Counters may be measured
+# (PMU hosts) or simulated (containers/VMs) — the contract under test is
+# that a --hwc sweep always yields counter metrics with honest
+# provenance, identically through the in-process and pooled paths, and
+# that rperf-report renders the counter view from both the profile
+# directory and the store ledger.
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# --- 1. In-process --hwc sweep into profiles + store. -----------------
+execute_process(
+  COMMAND "${RAJAPERF}" --hwc --kernels Basic_DAXPY,Stream_TRIAD
+          --variants Base_Seq --size-factor 0.01
+          --outdir "${WORKDIR}/out" --store "${WORKDIR}/store"
+  OUTPUT_VARIABLE out1 ERROR_VARIABLE err1 RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "--hwc sweep: want exit 0, got ${rc1}:\n${out1}\n${err1}")
+endif()
+# The driver summarizes provenance and cost on one line.
+if(NOT out1 MATCHES "hwc: source=(measured|simulated|mixed)")
+  message(FATAL_ERROR "missing hwc summary line:\n${out1}")
+endif()
+set(source1 "${CMAKE_MATCH_1}")
+# Degrading to the simulator must come with exactly one stderr warning
+# naming the reason; fully measured runs must stay silent.
+if(source1 STREQUAL "simulated")
+  if(NOT err1 MATCHES "hardware counters unavailable")
+    message(FATAL_ERROR "simulated run without the degradation warning:\n${err1}")
+  endif()
+endif()
+
+# The profile carries PAPI metrics and the provenance metadata.
+file(READ "${WORKDIR}/out/Base_Seq.default.cali.json" profile1)
+foreach(needle "PAPI_TOT_CYC" "PAPI_TOT_INS" "hwc_source")
+  if(NOT profile1 MATCHES "${needle}")
+    message(FATAL_ERROR "profile lacks ${needle}")
+  endif()
+endforeach()
+# progress.jsonl records provenance per cell (resume keeps it honest).
+file(READ "${WORKDIR}/out/progress.jsonl" progress1)
+if(NOT progress1 MATCHES "hwc_source")
+  message(FATAL_ERROR "progress.jsonl lacks hwc_source")
+endif()
+
+# --- 2. Pooled path produces identical checksums. ---------------------
+execute_process(
+  COMMAND "${RAJAPERF}" --hwc --workers 2 --kernels Basic_DAXPY,Stream_TRIAD
+          --variants Base_Seq --size-factor 0.01
+          --outdir "${WORKDIR}/out_pool"
+  OUTPUT_VARIABLE out2 ERROR_VARIABLE err2 RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "pooled --hwc sweep: want exit 0, got ${rc2}:\n${out2}\n${err2}")
+endif()
+# Extract and compare the checksum fields cell by cell.
+foreach(d out out_pool)
+  set(sums_${d} "")
+  file(STRINGS "${WORKDIR}/${d}/progress.jsonl" lines_${d})
+  foreach(line IN LISTS lines_${d})
+    if(line MATCHES "\"kernel\":\"([^\"]+)\".*\"checksum\":\"?([^,\"]+)")
+      list(APPEND sums_${d} "${CMAKE_MATCH_1}=${CMAKE_MATCH_2}")
+    endif()
+  endforeach()
+  list(SORT sums_${d})
+endforeach()
+if(NOT sums_out STREQUAL sums_out_pool)
+  message(FATAL_ERROR "pooled checksums diverge from in-process:\n"
+                      "in-process: ${sums_out}\npooled: ${sums_out_pool}")
+endif()
+
+# --- 3. rperf-report --hwc over the profile directory. ----------------
+execute_process(
+  COMMAND "${REPORT}" "${WORKDIR}/out" --hwc
+  OUTPUT_VARIABLE rep1 RESULT_VARIABLE rrc1)
+if(NOT rrc1 EQUAL 0)
+  message(FATAL_ERROR "rperf-report --hwc (profiles): exit ${rrc1}:\n${rep1}")
+endif()
+foreach(needle "hardware counters" "IPC" "TMA level-1" "Ward clustering")
+  if(NOT rep1 MATCHES "${needle}")
+    message(FATAL_ERROR "profile --hwc view lacks \"${needle}\":\n${rep1}")
+  endif()
+endforeach()
+
+# --- 4. rperf-report --store --hwc over the ledger. -------------------
+execute_process(
+  COMMAND "${REPORT}" --store "${WORKDIR}/store" --hwc
+  OUTPUT_VARIABLE rep2 RESULT_VARIABLE rrc2)
+if(NOT rrc2 EQUAL 0)
+  message(FATAL_ERROR "rperf-report --store --hwc: exit ${rrc2}:\n${rep2}")
+endif()
+if(NOT rep2 MATCHES "counter record" OR NOT rep2 MATCHES "multiplex coverage")
+  message(FATAL_ERROR "store --hwc view incomplete:\n${rep2}")
+endif()
+
+# --- 5. The counter-bearing ledger passes fsck clean. -----------------
+execute_process(
+  COMMAND "${REPORT}" --store "${WORKDIR}/store" --fsck
+  OUTPUT_VARIABLE fsck_out RESULT_VARIABLE fsck_rc)
+if(NOT fsck_rc EQUAL 0)
+  message(FATAL_ERROR "fsck of counter-bearing store: exit ${fsck_rc}:\n${fsck_out}")
+endif()
+
+# --- 6. A sweep without --hwc stays counter-free. ---------------------
+execute_process(
+  COMMAND "${RAJAPERF}" --kernels Basic_DAXPY --variants Base_Seq
+          --size-factor 0.01 --outdir "${WORKDIR}/out_plain"
+  OUTPUT_VARIABLE out3 RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "plain sweep: exit ${rc3}:\n${out3}")
+endif()
+if(out3 MATCHES "hwc: source=")
+  message(FATAL_ERROR "plain sweep printed an hwc summary:\n${out3}")
+endif()
+file(READ "${WORKDIR}/out_plain/Base_Seq.default.cali.json" profile3)
+if(profile3 MATCHES "PAPI_TOT_CYC")
+  message(FATAL_ERROR "plain sweep attributed counter metrics")
+endif()

@@ -1,0 +1,31 @@
+# Overhead guard: reading hardware counters must cost < 5% of wall time
+# on the perf-smoke sweep. The run self-accounts (open/read/scale time per
+# cell summed into hwc_overhead_sec) and prints the percentage on the hwc
+# summary line; the same figure lands in run metadata as hwc_overhead_pct.
+# The guard holds on both sources: measured reads are two read(2) calls
+# per region, the simulated fallback is a handful of arithmetic ops.
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+  COMMAND "${RAJAPERF}" --kernels Basic_DAXPY,Stream_TRIAD,Stream_DOT
+          --variants Base_Seq,RAJA_OpenMP --size-factor 0.02
+          --hwc --outdir "${WORKDIR}/out"
+  OUTPUT_VARIABLE out1
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "--hwc run: want exit 0, got ${rc1}:\n${out1}")
+endif()
+if(NOT out1 MATCHES "hwc: source=[a-z]+, overhead ([0-9]+)(\\.[0-9]+)?% of wall time")
+  message(FATAL_ERROR "hwc line lacks the overhead figure:\n${out1}")
+endif()
+# Compare on the integer part: anything whose whole part reaches 5 fails.
+if(CMAKE_MATCH_1 GREATER_EQUAL 5)
+  message(FATAL_ERROR "hwc overhead ${CMAKE_MATCH_1}${CMAKE_MATCH_2}% "
+                      ">= 5% of wall time:\n${out1}")
+endif()
+# The figure is also run metadata, for profile consumers.
+file(READ "${WORKDIR}/out/Base_Seq.default.cali.json" profile1)
+if(NOT profile1 MATCHES "hwc_overhead_pct")
+  message(FATAL_ERROR "profile metadata lacks hwc_overhead_pct")
+endif()

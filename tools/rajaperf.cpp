@@ -198,6 +198,18 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Hardware-counter summary (--hwc): where the values came from and
+    // what reading them cost. The line shape "hwc overhead X.XX% of wall
+    // time" is load-bearing: the perf_hwc_overhead smoke test parses it
+    // and fails the build past 5%.
+    if (params.hwc) {
+      std::printf("hwc: source=%s, overhead %.2f%% of wall time%s%s\n",
+                  exec.hwc_source().empty() ? "none" : exec.hwc_source().c_str(),
+                  exec.hwc_overhead_pct(),
+                  exec.hwc_reason().empty() ? "" : " — ",
+                  exec.hwc_reason().c_str());
+    }
+
     if (params.trace) {
       std::string trace_path = params.trace_path;
       if (trace_path.empty()) {

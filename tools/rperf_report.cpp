@@ -2,6 +2,7 @@
 //
 //   rperf-report DIR [--metric M] [--label KEY] [--stats NODE METRIC]
 //                    [--groupby KEY] [--compare DIR2 [--threshold T]]
+//                    [--hwc]
 //   rperf-report --trace FILE [--top N] [--flamegraph]
 //
 // Examples:
@@ -12,6 +13,15 @@
 //   rperf-report baseline/ --compare candidate/ --threshold 1.1
 //   rperf-report --trace out/trace.json --top 10
 //   rperf-report --trace out/trace.json --flamegraph > sweep.folded
+//
+// --hwc renders the hardware-counter view: per-kernel rates derived from
+// the PAPI_* region metrics (IPC, branch mispredict rate, cache misses
+// per kilo-instruction), TMA level-1 fractions via hwc::measured_tma, and
+// the paper's Fig-6/7 Ward dendrogram over those TMA signatures. Works
+// over a profile directory (metrics averaged across profiles, provenance
+// from the hwc_source metadata) and over --store ledgers (per-cell
+// CounterSet records, including multiplex coverage). Counter values may
+// be measured (perf_event_open) or simulated — each row says which.
 //
 // When DIR holds a crashes.jsonl sidecar (written by rajaperf --isolate),
 // a crash summary is appended: per cell, how many times its worker died,
@@ -57,13 +67,99 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cluster.hpp"
 #include "analysis/thicket.hpp"
+#include "counters/perf_event.hpp"
 #include "instrument/json.hpp"
 #include "instrument/trace_export.hpp"
 #include "store/query.hpp"
 #include "store/store.hpp"
 
 namespace {
+
+/// Derived per-kernel counter row shared by the profile-dir and --store
+/// --hwc views: rates a reader compares across kernels, not raw totals.
+struct HwcRow {
+  std::string label;
+  double ipc = 0.0;          ///< instructions per cycle
+  double br_msp_pct = 0.0;   ///< branch mispredicts per branch, percent
+  double l2_per_ki = 0.0;    ///< PAPI_L2_DCM per kilo-instruction
+  double l3_per_ki = 0.0;    ///< PAPI_L3_TCM per kilo-instruction
+  rperf::machine::TMAFractions tma;  ///< measured_tma over the counters
+  std::string source;
+};
+
+HwcRow hwc_row(const std::string& label,
+               const std::map<std::string, double>& c,
+               const std::string& source) {
+  auto get = [&c](const char* key) {
+    const auto it = c.find(key);
+    return it == c.end() ? 0.0 : it->second;
+  };
+  HwcRow row;
+  row.label = label;
+  const double cyc = get("PAPI_TOT_CYC");
+  const double ins = get("PAPI_TOT_INS");
+  const double br = get("PAPI_BR_INS");
+  row.ipc = cyc > 0.0 ? ins / cyc : 0.0;
+  row.br_msp_pct = br > 0.0 ? get("PAPI_BR_MSP") / br * 100.0 : 0.0;
+  row.l2_per_ki = ins > 0.0 ? get("PAPI_L2_DCM") / ins * 1e3 : 0.0;
+  row.l3_per_ki = ins > 0.0 ? get("PAPI_L3_TCM") / ins * 1e3 : 0.0;
+  row.tma = rperf::hwc::measured_tma(c);
+  row.source = source;
+  return row;
+}
+
+/// Render the --hwc tables: counter-derived rates, TMA level-1 fractions,
+/// and (given >= 2 rows with TMA data) the paper's Fig-6/7 view — Ward
+/// dendrogram over the 5-dim TMA signatures, cut at distance 1.4.
+void print_hwc_rows(const std::vector<HwcRow>& rows) {
+  namespace analysis = rperf::analysis;
+  std::printf("  %-40s %8s %8s %9s %9s %s\n", "Kernel", "IPC", "BrMsp%",
+              "L2DCM/kI", "L3TCM/kI", "source");
+  for (const auto& r : rows) {
+    std::printf("  %-40s %8.2f %8.2f %9.2f %9.2f %s\n", r.label.c_str(),
+                r.ipc, r.br_msp_pct, r.l2_per_ki, r.l3_per_ki,
+                r.source.c_str());
+  }
+
+  std::vector<const HwcRow*> with_tma;
+  for (const auto& r : rows) {
+    if (r.tma.sum() > 0.0) with_tma.push_back(&r);
+  }
+  if (with_tma.empty()) return;
+  std::printf("\nTMA level-1 fractions (measured_tma over the counters):\n");
+  std::printf("  %-40s %9s %9s %9s %9s %9s\n", "Kernel", "frontend",
+              "badspec", "retiring", "core", "memory");
+  for (const auto* r : with_tma) {
+    std::printf("  %-40s %9.3f %9.3f %9.3f %9.3f %9.3f\n", r->label.c_str(),
+                r->tma.frontend_bound, r->tma.bad_speculation,
+                r->tma.retiring, r->tma.core_bound, r->tma.memory_bound);
+  }
+  if (with_tma.size() < 2) return;
+
+  std::vector<std::vector<double>> points;
+  std::vector<std::string> labels;
+  for (const auto* r : with_tma) {
+    points.push_back({r->tma.frontend_bound, r->tma.bad_speculation,
+                      r->tma.retiring, r->tma.core_bound,
+                      r->tma.memory_bound});
+    labels.push_back(r->label);
+  }
+  const auto links = analysis::ward_linkage(points);
+  const auto flat = analysis::fcluster(links, points.size(), 1.4);
+  const int k = *std::max_element(flat.begin(), flat.end()) + 1;
+  std::printf("\nWard clustering over TMA signatures "
+              "(cut at 1.4: %d cluster(s)):\n%s",
+              k, analysis::render_dendrogram(links, labels).c_str());
+  for (int cluster = 0; cluster < k; ++cluster) {
+    std::printf("  cluster %d:", cluster);
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      if (flat[i] == cluster) std::printf(" %s", labels[i].c_str());
+    }
+    std::printf("\n");
+  }
+}
 
 /// Render DIR/crashes.jsonl (if present) and report whether any worker
 /// crashes are on record.
@@ -214,6 +310,7 @@ int store_mode(int argc, char** argv) {
   std::size_t topn = 10;
   unsigned threads = 0;
   bool show_run = false;
+  bool do_hwc = false;
   bool do_fsck = false;
   bool repair = false;
   bool do_topn = false;
@@ -237,6 +334,8 @@ int store_mode(int argc, char** argv) {
       kernel = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--hwc") == 0) {
+      do_hwc = true;
     } else if (std::strcmp(argv[i], "--no-index") == 0) {
       use_index = false;
     } else if (std::strcmp(argv[i], "--fsck") == 0) {
@@ -300,6 +399,57 @@ int store_mode(int argc, char** argv) {
                  "warning: torn journal tail of %llu byte(s) (uncommitted; "
                  "--fsck --repair quarantines it)\n",
                  static_cast<unsigned long long>(query.journal_tail_bytes()));
+  }
+
+  if (do_hwc) {
+    // Hardware-counter records landed by rajaperf --hwc --store: one
+    // typed CounterSet record per cell, reassembled into StoredRun
+    // counters by the scanner (fsck structurally checks them the same
+    // way). Shows derived rates plus the multiplexing coverage
+    // (time_running / time_enabled) a reader needs to judge scaling.
+    std::vector<store::StoredRun> runs;
+    if (!run_prefix.empty()) {
+      const std::optional<store::StoredRun> run = query.run(run_prefix);
+      if (!run) {
+        std::fprintf(stderr, "error: run %s not found in %s\n",
+                     run_prefix.c_str(), dir.c_str());
+        return 1;
+      }
+      runs.push_back(*run);
+    } else {
+      runs = query.all_runs();
+    }
+    flush_warnings();
+    bool any = false;
+    for (const auto& r : runs) {
+      if (r.counters.empty()) continue;
+      any = true;
+      double overhead = 0.0;
+      double mux_min = 1.0;
+      std::vector<HwcRow> rows;
+      for (const auto& c : r.counters) {
+        rows.push_back(hwc_row(c.kernel + "/" + c.variant + "/" + c.tuning,
+                               c.values, c.source));
+        overhead += c.overhead_sec;
+        if (c.time_enabled_ns > 0) {
+          mux_min = std::min(mux_min, static_cast<double>(c.time_running_ns) /
+                                          static_cast<double>(c.time_enabled_ns));
+        }
+      }
+      std::printf("run %s: %zu counter record(s), read cost %.3f ms, "
+                  "worst multiplex coverage %.0f%%\n",
+                  r.run_id.c_str(), r.counters.size(), overhead * 1e3,
+                  mux_min * 100.0);
+      print_hwc_rows(rows);
+    }
+    if (!any) {
+      std::fprintf(stderr,
+                   "error: no counter records in %s (rerun rajaperf with "
+                   "--hwc --store)\n",
+                   dir.c_str());
+      return 1;
+    }
+    return 0;
   }
 
   if (!diff_a.empty()) {
@@ -498,11 +648,11 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: rperf-report DIR [--metric M] [--label KEY] "
-                 "[--stats NODE METRIC] [--groupby KEY]\n"
+                 "[--stats NODE METRIC] [--groupby KEY] [--hwc]\n"
                  "       rperf-report --trace FILE [--top N] "
                  "[--flamegraph]\n"
                  "       rperf-report --store DIR [--run ID] [--top N] "
-                 "[--diff ID1 ID2]\n"
+                 "[--diff ID1 ID2] [--hwc]\n"
                  "                    [--topn N] "
                  "[--groupby kernel|group|variant] [--kernel K]\n"
                  "                    [--threads N] [--no-index]\n"
@@ -525,6 +675,54 @@ int main(int argc, char** argv) {
     std::string compare_dir;
     double threshold = 1.1;
     for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--hwc") == 0) {
+        // Hardware-counter view: per-kernel rates derived from the PAPI
+        // region metrics (mean across profiles), TMA level-1 fractions,
+        // and the Fig-6/7 Ward dendrogram over those TMA signatures.
+        std::vector<std::string> papi;
+        for (const auto& m : tk.metrics()) {
+          if (m.rfind("PAPI_", 0) == 0) papi.push_back(m);
+        }
+        if (papi.empty()) {
+          std::fprintf(stderr,
+                       "error: no PAPI_* metrics in %s (rerun rajaperf "
+                       "with --hwc)\n",
+                       argv[1]);
+          return 1;
+        }
+        // Counter provenance is run metadata; a directory mixing measured
+        // and simulated profiles reports "mixed".
+        std::string source;
+        std::string reason;
+        for (std::size_t p = 0; p < tk.num_profiles(); ++p) {
+          const auto& md = tk.metadata(p);
+          const auto src = md.find("hwc_source");
+          if (src == md.end()) continue;
+          if (source.empty()) {
+            source = src->second;
+          } else if (source != src->second) {
+            source = "mixed";
+          }
+          const auto why = md.find("hwc_unavailable_reason");
+          if (why != md.end() && reason.empty()) reason = why->second;
+        }
+        if (source.empty()) source = "unknown";
+        std::printf("hardware counters over %zu profile(s) in %s "
+                    "(source: %s)\n",
+                    tk.num_profiles(), argv[1], source.c_str());
+        if (!reason.empty()) std::printf("  degraded: %s\n", reason.c_str());
+        std::vector<HwcRow> rows;
+        for (const auto& node : tk.nodes()) {
+          std::map<std::string, double> counters;
+          for (const auto& m : papi) {
+            const auto s = tk.stats(node, m);
+            if (s.count > 0) counters[m] = s.mean;
+          }
+          if (!counters.empty()) rows.push_back(hwc_row(node, counters, source));
+        }
+        print_hwc_rows(rows);
+        return 0;
+      }
       if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
         metric = argv[++i];
       } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
